@@ -1,0 +1,33 @@
+//! E7/E19 — §4.3: the classification pipeline and its ablations.
+//!
+//! The ablation axis (full pipeline vs APN-only vs vendor-only) is the
+//! design choice DESIGN.md calls out: property propagation is what rescues
+//! the ~21% APN-less devices, at the cost measured here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::baseline::{apn_only_baseline, vendor_baseline};
+use wtr_core::classify::Classifier;
+use wtr_core::summary::summarize;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let mut g = c.benchmark_group("classify");
+    g.bench_function("summarize_catalog", |b| {
+        b.iter(|| summarize(black_box(&art.output.catalog)))
+    });
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)))
+    });
+    g.bench_function("ablation_apn_only", |b| {
+        b.iter(|| apn_only_baseline(&art.output.tacdb, black_box(&art.summaries)))
+    });
+    g.bench_function("ablation_vendor_only", |b| {
+        b.iter(|| vendor_baseline(&art.output.tacdb, black_box(&art.summaries)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E21/E22 — extension analyses: roaming economics and diurnal profiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::{diurnal, revenue};
+use wtr_core::classify::DeviceClass;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let mut g = c.benchmark_group("extensions");
+    g.bench_function("e21_inbound_economics", |b| {
+        b.iter(|| {
+            revenue::inbound_economics(
+                black_box(&art.summaries),
+                black_box(&art.classification),
+                revenue::RateCard::default(),
+            )
+        })
+    });
+    g.bench_function("e22_diurnal_profiles", |b| {
+        b.iter(|| {
+            diurnal::profiles(
+                black_box(&art.summaries),
+                black_box(&art.classification),
+                &[DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

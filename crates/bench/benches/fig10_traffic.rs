@@ -1,0 +1,32 @@
+//! E14 — Fig. 10: per-population traffic distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::{bench_mno, MnoArtifacts};
+use wtr_core::analysis::traffic::{traffic_dist, TrafficMetric};
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let pairs = MnoArtifacts::standard_pairs();
+    let mut g = c.benchmark_group("fig10_traffic");
+    for (name, metric) in [
+        ("signaling", TrafficMetric::SignalingPerDay),
+        ("calls", TrafficMetric::CallsPerDay),
+        ("bytes", TrafficMetric::BytesPerDay),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                traffic_dist(
+                    black_box(&art.summaries),
+                    black_box(&art.classification),
+                    black_box(&pairs),
+                    metric,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E15–E17 — Fig. 11 / §7.1: SMIP identification and group statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::smip;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let pop = smip::identify(&art.summaries, &art.output.tacdb);
+    let mut g = c.benchmark_group("fig11_smip");
+    g.bench_function("identify", |b| {
+        b.iter(|| smip::identify(black_box(&art.summaries), black_box(&art.output.tacdb)))
+    });
+    g.bench_function("group_stats", |b| {
+        b.iter(|| {
+            (
+                smip::group_stats(black_box(&art.summaries), &pop.native, art.output.days),
+                smip::group_stats(black_box(&art.summaries), &pop.roaming, art.output.days),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! E18 — Fig. 12: connected cars vs smart meters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::verticals;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    c.bench_function("fig12_verticals_compare", |b| {
+        b.iter(|| verticals::compare(black_box(&art.summaries)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E1/E2 — §3.2 table + Fig. 2: HMNO footprint from the transaction log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_m2m;
+use wtr_core::analysis::platform;
+
+fn bench(c: &mut Criterion) {
+    let txs = bench_m2m();
+    let mut g = c.benchmark_group("fig2_hmno");
+    g.bench_function("per_device_aggregation", |b| {
+        b.iter(|| platform::per_device(black_box(txs)))
+    });
+    g.bench_function("overview", |b| {
+        b.iter(|| platform::overview(black_box(txs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E3–E5 — Fig. 3: per-device signaling dynamics of the M2M platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_m2m;
+use wtr_core::analysis::platform;
+use wtr_model::operators::well_known;
+
+fn bench(c: &mut Criterion) {
+    let txs = bench_m2m();
+    let mut g = c.benchmark_group("fig3_dynamics");
+    g.bench_function("dynamics_all", |b| {
+        b.iter(|| platform::dynamics(black_box(txs), None))
+    });
+    g.bench_function("dynamics_es_only", |b| {
+        b.iter(|| platform::dynamics(black_box(txs), Some(well_known::ES_HMNO)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

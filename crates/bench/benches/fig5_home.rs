@@ -1,0 +1,18 @@
+//! E8/E9 — Fig. 5: home-country structure of inbound roamers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::population;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    c.bench_function("fig5_home_countries", |b| {
+        b.iter(|| {
+            population::home_countries(black_box(&art.summaries), black_box(&art.classification))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

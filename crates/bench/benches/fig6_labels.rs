@@ -1,0 +1,26 @@
+//! E6/E10 — §4.2 label shares + Fig. 6 class × label heatmaps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::population;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let mut g = c.benchmark_group("fig6_labels");
+    g.bench_function("daily_label_shares", |b| {
+        b.iter(|| population::label_shares(black_box(&art.output.catalog)))
+    });
+    g.bench_function("class_label_breakdown", |b| {
+        b.iter(|| {
+            population::class_label_breakdown(
+                black_box(&art.summaries),
+                black_box(&art.classification),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E11 — Fig. 7: active-days distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::{bench_mno, MnoArtifacts};
+use wtr_core::analysis::activity;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let pairs = MnoArtifacts::standard_pairs();
+    c.bench_function("fig7_active_days", |b| {
+        b.iter(|| {
+            activity::active_days(
+                black_box(&art.summaries),
+                black_box(&art.classification),
+                black_box(&pairs),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E12 — Fig. 8: radius-of-gyration distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::{bench_mno, MnoArtifacts};
+use wtr_core::analysis::activity;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let pairs = MnoArtifacts::standard_pairs();
+    c.bench_function("fig8_gyration", |b| {
+        b.iter(|| {
+            activity::gyration(
+                black_box(&art.summaries),
+                black_box(&art.classification),
+                black_box(&pairs),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E13 — Fig. 9: RAT-usage category shares over the three planes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_mno;
+use wtr_core::analysis::rat_usage::{rat_usage, Plane};
+use wtr_core::classify::DeviceClass;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_mno();
+    let classes = [DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat];
+    let mut g = c.benchmark_group("fig9_rat");
+    for plane in [Plane::Any, Plane::Data, Plane::Voice] {
+        g.bench_function(plane.label(), |b| {
+            b.iter(|| {
+                rat_usage(
+                    black_box(&art.summaries),
+                    black_box(&art.classification),
+                    black_box(&classes),
+                    plane,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

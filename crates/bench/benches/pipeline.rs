@@ -1,0 +1,99 @@
+//! End-to-end pipeline cost: simulation, probes and wire format.
+//!
+//! Includes the DESIGN.md ablations that are infrastructure choices
+//! rather than figures: anonymization hashing and the compact wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wtr_bench::bench_m2m;
+use wtr_model::hash::{anonymize_u64, AnonKey};
+use wtr_probes::wire;
+use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("m2m_scenario_400dev_5days", |b| {
+        b.iter(|| {
+            M2mScenario::new(M2mScenarioConfig {
+                devices: 400,
+                days: 5,
+                seed: 5,
+                g4_hole_fraction: 0.05,
+            })
+            .run()
+        })
+    });
+    g.bench_function("mno_scenario_400dev_5days", |b| {
+        b.iter(|| {
+            MnoScenario::new(MnoScenarioConfig {
+                devices: 400,
+                days: 5,
+                seed: 5,
+                nbiot_meter_fraction: 0.0,
+                sunset_2g_uk: false,
+                gsma_transparency: false,
+                record_loss_fraction: 0.0,
+            })
+            .run()
+        })
+    });
+    g.finish();
+
+    let txs = bench_m2m();
+    let encoded = wire::encode_log(txs);
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("encode", |b| b.iter(|| wire::encode_log(black_box(txs))));
+    g.bench_function("decode", |b| {
+        b.iter(|| wire::decode_log(black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("codecs");
+    g.bench_function("imsi_parse", |b| {
+        b.iter(|| {
+            black_box("204040123456789")
+                .parse::<wtr_model::ids::Imsi>()
+                .unwrap()
+        })
+    });
+    g.bench_function("imei_parse_with_luhn", |b| {
+        b.iter(|| {
+            black_box("490154203237518")
+                .parse::<wtr_model::ids::Imei>()
+                .unwrap()
+        })
+    });
+    g.bench_function("apn_parse", |b| {
+        b.iter(|| {
+            black_box("smhp.centricaplc.com.mnc004.mcc204.gprs")
+                .parse::<wtr_model::apn::Apn>()
+                .unwrap()
+        })
+    });
+    g.bench_function("roaming_label_derive", |b| {
+        use wtr_model::operators::{well_known, OperatorRegistry};
+        use wtr_model::roaming::RoamingLabel;
+        let registry = OperatorRegistry::standard(3);
+        b.iter(|| {
+            RoamingLabel::derive(
+                well_known::UK_STUDIED_MNO,
+                black_box(&registry),
+                well_known::NL_SMART_METER_HMNO,
+                well_known::UK_STUDIED_MNO,
+            )
+        })
+    });
+    g.finish();
+
+    c.bench_function("anonymize_hash", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            anonymize_u64(AnonKey::FIXED, black_box(x))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! # wtr-bench — experiment runners shared by the `repro` binary and the
+//! Criterion benches.
+//!
+//! Each paper figure/table has a function here that takes scenario outputs
+//! and produces the numbers the paper reports. The `repro` binary prints
+//! them next to the paper's values; the benches measure the cost of the
+//! pipeline stages that produce them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use wtr_core::analysis::activity::StatusGroup;
+use wtr_core::classify::{Classification, Classifier, DeviceClass};
+use wtr_core::summary::{summarize, DeviceSummary};
+use wtr_model::vertical::Vertical;
+use wtr_probes::records::M2mTransaction;
+use wtr_scenarios::mno::MnoScenarioOutput;
+use wtr_scenarios::{M2mScenario, M2mScenarioConfig};
+use wtr_scenarios::{MnoScenario, MnoScenarioConfig};
+
+/// Everything the MNO-side experiments need, computed once.
+pub struct MnoArtifacts {
+    /// The scenario output (catalog + ground truth + TAC catalog).
+    pub output: MnoScenarioOutput,
+    /// Per-device summaries.
+    pub summaries: Vec<DeviceSummary>,
+    /// The full classification pipeline's result.
+    pub classification: Classification,
+}
+
+impl MnoArtifacts {
+    /// Runs the MNO scenario and the classification pipeline.
+    pub fn build(config: MnoScenarioConfig) -> MnoArtifacts {
+        let output = MnoScenario::new(config).run();
+        let summaries = summarize(&output.catalog);
+        let classification = Classifier::new(&output.tacdb).classify(&summaries);
+        MnoArtifacts {
+            output,
+            summaries,
+            classification,
+        }
+    }
+
+    /// Ground truth restricted to devices that actually appear in the
+    /// catalog (devices that never touched the studied MNO are invisible).
+    pub fn observed_truth(&self) -> HashMap<u64, Vertical> {
+        self.summaries
+            .iter()
+            .filter_map(|s| self.output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
+            .collect()
+    }
+
+    /// The standard (class, status) pairs used by Fig. 7/8/10 panels.
+    pub fn standard_pairs() -> Vec<(DeviceClass, StatusGroup)> {
+        vec![
+            (DeviceClass::M2m, StatusGroup::InboundRoaming),
+            (DeviceClass::M2m, StatusGroup::Native),
+            (DeviceClass::Smart, StatusGroup::InboundRoaming),
+            (DeviceClass::Smart, StatusGroup::Native),
+            (DeviceClass::Feat, StatusGroup::InboundRoaming),
+            (DeviceClass::Feat, StatusGroup::Native),
+        ]
+    }
+}
+
+/// Shared fixture for Criterion benches: one small MNO scenario built
+/// once per process (Criterion re-enters the bench body thousands of
+/// times; the scenario must stay out of the timing loop).
+pub fn bench_mno() -> &'static MnoArtifacts {
+    static CELL: OnceLock<MnoArtifacts> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MnoArtifacts::build(MnoScenarioConfig {
+            devices: 2_500,
+            days: 22,
+            seed: 99,
+            nbiot_meter_fraction: 0.0,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: 0.0,
+        })
+    })
+}
+
+/// Shared fixture: one small M2M-platform transaction log.
+pub fn bench_m2m() -> &'static Vec<M2mTransaction> {
+    static CELL: OnceLock<Vec<M2mTransaction>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        M2mScenario::new(M2mScenarioConfig {
+            devices: 2_000,
+            days: 11,
+            seed: 99,
+            g4_hole_fraction: 0.05,
+        })
+        .run()
+        .transactions
+    })
+}
+
+/// Formats a paper-vs-measured comparison line.
+pub fn compare_line(label: &str, paper: &str, measured: String) -> String {
+    format!("  {label:<52} paper: {paper:<16} measured: {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_build_end_to_end() {
+        let art = MnoArtifacts::build(MnoScenarioConfig {
+            devices: 600,
+            days: 6,
+            seed: 3,
+            nbiot_meter_fraction: 0.0,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: 0.0,
+        });
+        assert!(!art.summaries.is_empty());
+        assert_eq!(art.classification.classes.len(), art.summaries.len());
+        let truth = art.observed_truth();
+        assert_eq!(truth.len(), art.summaries.len());
+    }
+
+    #[test]
+    fn compare_line_contains_both_sides() {
+        let line = compare_line("m2m share", "26%", "27.3%".to_owned());
+        assert!(line.contains("26%") && line.contains("27.3%"));
+    }
+}

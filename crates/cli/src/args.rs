@@ -1,0 +1,115 @@
+//! Tiny flag parser: `--name value` options, `--flag` booleans and bare
+//! positionals, with typed accessors and unknown-flag rejection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`; `value_options` lists flags that consume a value,
+    /// `bool_flags` those that do not. Anything else starting with `--`
+    /// is an error.
+    pub fn parse(
+        argv: &[String],
+        value_options: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_options.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    out.options.insert(name.to_owned(), value.clone());
+                } else if bool_flags.contains(&name) {
+                    out.flags.push(name.to_owned());
+                } else if name == "help" {
+                    out.flags.push("help".to_owned());
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// Typed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Bare positionals.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_options_flags_and_positionals() {
+        let a = Args::parse(
+            &argv(&["--devices", "100", "--sunset-2g", "labels", "rat"]),
+            &["devices"],
+            &["sunset-2g"],
+        )
+        .unwrap();
+        assert_eq!(a.get("devices"), Some("100"));
+        assert_eq!(a.get_parsed("devices", 0usize).unwrap(), 100);
+        assert!(a.flag("sunset-2g"));
+        assert!(!a.flag("transparency"));
+        assert_eq!(a.positionals(), ["labels", "rat"]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_values() {
+        assert!(Args::parse(&argv(&["--nope"]), &[], &[]).is_err());
+        assert!(Args::parse(&argv(&["--devices"]), &["devices"], &[]).is_err());
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = Args::parse(&argv(&["--seed", "abc"]), &["seed"], &[]).unwrap();
+        assert!(a.get_parsed::<u64>("seed", 1).is_err());
+        let b = Args::parse(&argv(&[]), &["seed"], &[]).unwrap();
+        assert_eq!(b.get_parsed("seed", 7u64).unwrap(), 7);
+        assert!(b.require("seed").is_err());
+    }
+}

@@ -1,0 +1,466 @@
+//! The `wtr` subcommand implementations.
+
+use crate::args::Args;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use wtr_core::analysis::activity::StatusGroup;
+use wtr_core::analysis::rat_usage::Plane;
+use wtr_core::analysis::traffic::TrafficMetric;
+use wtr_core::analysis::{
+    activity, diurnal, platform, population, rat_usage, revenue, smip, traffic, verticals,
+};
+use wtr_core::baseline;
+use wtr_core::classify::{Classification, Classifier, DeviceClass};
+use wtr_core::report;
+use wtr_core::summary::{summarize, DeviceSummary};
+use wtr_model::tacdb::TacDatabase;
+use wtr_probes::catalog::DevicesCatalog;
+use wtr_probes::io as probe_io;
+use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig};
+
+fn open_out(path: &str) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {path}: {e}"))
+}
+
+fn open_in(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn load_catalog(args: &Args) -> Result<DevicesCatalog, String> {
+    let path = args.require("catalog")?;
+    probe_io::read_catalog(open_in(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `wtr simulate-mno`: run the §4–§7 scenario and export the catalog.
+pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[
+            "out",
+            "truth",
+            "devices",
+            "days",
+            "seed",
+            "nbiot-meters",
+            "record-loss",
+        ],
+        &["sunset-2g", "transparency"],
+    )?;
+    if args.flag("help") {
+        println!(
+            "wtr simulate-mno --out catalog.jsonl [--truth truth.jsonl] [--devices N] [--days D] \
+             [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] [--record-loss F]"
+        );
+        return Ok(());
+    }
+    let out_path = args.require("out")?;
+    let config = MnoScenarioConfig {
+        devices: args.get_parsed("devices", 5_000usize)?,
+        days: args.get_parsed("days", 22u32)?,
+        seed: args.get_parsed("seed", 42u64)?,
+        nbiot_meter_fraction: args.get_parsed("nbiot-meters", 0.0f64)?,
+        sunset_2g_uk: args.flag("sunset-2g"),
+        gsma_transparency: args.flag("transparency"),
+        record_loss_fraction: args.get_parsed("record-loss", 0.0f64)?,
+    };
+    eprintln!(
+        "simulating {} devices over {} days (seed {})…",
+        config.devices, config.days, config.seed
+    );
+    let output = MnoScenario::new(config).run();
+    let mut out = open_out(out_path)?;
+    probe_io::write_catalog(&mut out, &output.catalog).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} catalog rows ({} devices) to {out_path}",
+        output.catalog.len(),
+        output.catalog.device_count()
+    );
+    if let Some(truth_path) = args.get("truth") {
+        let mut out = open_out(truth_path)?;
+        probe_io::write_truth(&mut out, &output.ground_truth).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} ground-truth lines to {truth_path} (validation only — never feed this to a classifier)",
+            output.ground_truth.len()
+        );
+    }
+    Ok(())
+}
+
+/// `wtr validate`: score any pipeline against exported ground truth —
+/// the measurement the paper's authors could not make (§4.3 relied on
+/// manual verification).
+pub fn validate_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["catalog", "truth", "pipeline"], &[])?;
+    if args.flag("help") {
+        println!(
+            "wtr validate --catalog catalog.jsonl --truth truth.jsonl [--pipeline full|apn|vendor|range]"
+        );
+        return Ok(());
+    }
+    let catalog = load_catalog(&args)?;
+    let truth_path = args.require("truth")?;
+    let truth =
+        probe_io::read_truth(open_in(truth_path)?).map_err(|e| format!("{truth_path}: {e}"))?;
+    let summaries = summarize(&catalog);
+    let tacdb = TacDatabase::standard();
+    let pipeline = args.get("pipeline").unwrap_or("full");
+    let classification = classify_with(pipeline, &tacdb, &summaries)?;
+    let v = wtr_core::validate::validate(&classification, &truth);
+    println!("pipeline: {pipeline}");
+    println!("devices scored: {}", v.matrix.total());
+    if v.unmatched > 0 {
+        println!("devices without ground truth: {}", v.unmatched);
+    }
+    println!(
+        "m2m precision: {}",
+        v.m2m_precision
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    println!(
+        "m2m recall:    {}",
+        v.m2m_recall
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    println!("accuracy:      {:.1}%", v.matrix.accuracy() * 100.0);
+    println!("\nconfusion matrix (rows = truth, cols = predicted):");
+    let classes = DeviceClass::ALL;
+    print!("  {:<12}", "");
+    for c in classes {
+        print!("{:>11}", c.label());
+    }
+    println!();
+    for expected in classes {
+        print!("  {:<12}", expected.label());
+        for predicted in classes {
+            print!("{:>11}", v.matrix.get(expected, predicted));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `wtr simulate-platform`: run the §3 scenario and export transactions.
+pub fn simulate_platform(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["out", "wire", "devices", "days", "seed"], &[])?;
+    if args.flag("help") {
+        println!(
+            "wtr simulate-platform --out txs.jsonl [--wire txs.bin] [--devices N] [--days D] [--seed S]"
+        );
+        return Ok(());
+    }
+    let out_path = args.require("out")?;
+    let config = M2mScenarioConfig {
+        devices: args.get_parsed("devices", 6_000usize)?,
+        days: args.get_parsed("days", 11u32)?,
+        seed: args.get_parsed("seed", 42u64)?,
+        g4_hole_fraction: 0.05,
+    };
+    eprintln!(
+        "simulating {} IoT SIMs over {} days (seed {})…",
+        config.devices, config.days, config.seed
+    );
+    let output = M2mScenario::new(config).run();
+    let mut out = open_out(out_path)?;
+    probe_io::write_transactions(&mut out, &output.transactions).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} transactions to {out_path}",
+        output.transactions.len()
+    );
+    if let Some(wire_path) = args.get("wire") {
+        let encoded = wtr_probes::wire::encode_log(&output.transactions);
+        std::fs::write(wire_path, &encoded).map_err(|e| format!("{wire_path}: {e}"))?;
+        eprintln!(
+            "wrote {} bytes of wire format to {wire_path}",
+            encoded.len()
+        );
+    }
+    Ok(())
+}
+
+fn classify_with(
+    pipeline: &str,
+    tacdb: &TacDatabase,
+    summaries: &[DeviceSummary],
+) -> Result<Classification, String> {
+    match pipeline {
+        "full" => Ok(Classifier::new(tacdb).classify(summaries)),
+        "apn" => Ok(baseline::apn_only_baseline(tacdb, summaries)),
+        "vendor" => Ok(baseline::vendor_baseline(tacdb, summaries)),
+        "range" => Ok(baseline::imsi_range_baseline(tacdb, summaries)),
+        other => Err(format!(
+            "unknown pipeline {other:?} (expected full|apn|vendor|range)"
+        )),
+    }
+}
+
+/// `wtr classify`: classification summary over a catalog.
+pub fn classify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["catalog", "pipeline"], &[])?;
+    if args.flag("help") {
+        println!("wtr classify --catalog catalog.jsonl [--pipeline full|apn|vendor|range]");
+        return Ok(());
+    }
+    let catalog = load_catalog(&args)?;
+    let summaries = summarize(&catalog);
+    let tacdb = TacDatabase::standard();
+    let pipeline = args.get("pipeline").unwrap_or("full");
+    let classification = classify_with(pipeline, &tacdb, &summaries)?;
+    println!("pipeline: {pipeline}");
+    println!("devices: {}", summaries.len());
+    for (class, share) in classification.shares() {
+        println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
+    }
+    println!(
+        "APNs: {} distinct, {} validated M2M; {} devices without APN; \
+         {} NB-IoT-detected; {} range-detected",
+        classification.total_apns,
+        classification.validated_apns.len(),
+        classification.devices_without_apn,
+        classification.nbiot_detected,
+        classification.range_detected
+    );
+    Ok(())
+}
+
+/// `wtr analyze`: named analyses over a catalog.
+pub fn analyze(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["catalog"], &[])?;
+    if args.flag("help") {
+        println!(
+            "wtr analyze --catalog catalog.jsonl [labels home classes rat traffic smip verticals diurnal revenue]"
+        );
+        return Ok(());
+    }
+    let catalog = load_catalog(&args)?;
+    let summaries = summarize(&catalog);
+    let tacdb = TacDatabase::standard();
+    let classification = Classifier::new(&tacdb).classify(&summaries);
+    let mut wanted: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
+    if wanted.is_empty() {
+        wanted = vec![
+            "labels",
+            "classes",
+            "home",
+            "active",
+            "elements",
+            "rat",
+            "traffic",
+            "smip",
+            "verticals",
+            "diurnal",
+            "revenue",
+        ];
+    }
+    for analysis in wanted {
+        match analysis {
+            "labels" => {
+                let ls = population::label_shares(&catalog);
+                println!("roaming-label shares (overall):");
+                for (label, share) in &ls.overall {
+                    println!(
+                        "  {label}  {:>5.1}%  {}",
+                        share * 100.0,
+                        report::bar(*share, 30)
+                    );
+                }
+            }
+            "classes" => {
+                println!("device classes:");
+                for (class, share) in classification.shares() {
+                    println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
+                }
+            }
+            "home" => {
+                let hc = population::home_countries(&summaries, &classification);
+                print!(
+                    "{}",
+                    report::shares_table(
+                        "inbound roamers by home country (top 10)",
+                        &hc.overall,
+                        10
+                    )
+                );
+            }
+            "rat" => {
+                for plane in [Plane::Any, Plane::Data, Plane::Voice] {
+                    let usage = rat_usage::rat_usage(
+                        &summaries,
+                        &classification,
+                        &[DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat],
+                        plane,
+                    );
+                    println!("RAT usage ({}):", plane.label());
+                    for u in usage {
+                        let mut cats: Vec<(&String, &f64)> = u.shares.iter().collect();
+                        cats.sort_by(|a, b| b.1.total_cmp(a.1));
+                        let top: Vec<String> = cats
+                            .iter()
+                            .take(3)
+                            .map(|(k, v)| format!("{k} {:.0}%", **v * 100.0))
+                            .collect();
+                        println!("  {:<6} {}", u.class.label(), top.join(", "));
+                    }
+                }
+            }
+            "traffic" => {
+                let pairs = [
+                    (DeviceClass::M2m, StatusGroup::InboundRoaming),
+                    (DeviceClass::Smart, StatusGroup::Native),
+                    (DeviceClass::Smart, StatusGroup::InboundRoaming),
+                ];
+                for metric in [
+                    TrafficMetric::SignalingPerDay,
+                    TrafficMetric::CallsPerDay,
+                    TrafficMetric::BytesPerDay,
+                ] {
+                    let dists = traffic::traffic_dist(&summaries, &classification, &pairs, metric);
+                    println!("{} (medians):", metric.label());
+                    for d in dists {
+                        println!(
+                            "  {:<6} {:<16} {:>14.1}",
+                            d.class.label(),
+                            d.status.label(),
+                            d.dist.median().unwrap_or(0.0)
+                        );
+                    }
+                }
+            }
+            "smip" => {
+                let pop = smip::identify(&summaries, &tacdb);
+                let native = smip::group_stats(&summaries, &pop.native, catalog.window_days());
+                let roaming = smip::group_stats(&summaries, &pop.roaming, catalog.window_days());
+                println!(
+                    "SMIP: {} native, {} roaming meters; signaling/day {:.1} vs {:.1}; failed {:.0}% vs {:.0}%",
+                    native.devices,
+                    roaming.devices,
+                    native.signaling_per_day.mean().unwrap_or(0.0),
+                    roaming.signaling_per_day.mean().unwrap_or(0.0),
+                    native.failed_device_fraction * 100.0,
+                    roaming.failed_device_fraction * 100.0
+                );
+            }
+            "verticals" => {
+                let (cars, meters) = verticals::compare(&summaries);
+                println!(
+                    "verticals: {} cars (gyration {:.1} km) vs {} meters (gyration {:.3} km)",
+                    cars.devices,
+                    cars.gyration_km.median().unwrap_or(0.0),
+                    meters.devices,
+                    meters.gyration_km.median().unwrap_or(0.0)
+                );
+            }
+            "diurnal" => {
+                let profiles = diurnal::profiles(
+                    &summaries,
+                    &classification,
+                    &[DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat],
+                );
+                println!("diurnal shapes:");
+                for p in profiles {
+                    println!(
+                        "  {:<6} night {:>5.1}%  peak/trough {:>5.1}x",
+                        p.class.label(),
+                        p.night_share * 100.0,
+                        p.peak_to_trough
+                    );
+                }
+            }
+            "revenue" => {
+                let econ = revenue::inbound_economics(
+                    &summaries,
+                    &classification,
+                    revenue::RateCard::default(),
+                );
+                println!("inbound economics:");
+                for e in econ {
+                    println!(
+                        "  {:<10} load {:>5.1}%  revenue {:>5.1}%  median €{:.4}/device",
+                        e.class.label(),
+                        e.load_share * 100.0,
+                        e.revenue_share * 100.0,
+                        e.revenue_median_per_device
+                    );
+                }
+            }
+            "active" => {
+                let res = activity::active_days(
+                    &summaries,
+                    &classification,
+                    &[
+                        (DeviceClass::M2m, StatusGroup::InboundRoaming),
+                        (DeviceClass::Smart, StatusGroup::InboundRoaming),
+                    ],
+                );
+                println!(
+                    "active days (inbound medians): m2m {:.0}, smart {:.0}",
+                    res[0].days.median().unwrap_or(0.0),
+                    res[1].days.median().unwrap_or(0.0)
+                );
+            }
+            "elements" => {
+                // Element load needs the raw probe, which a catalog file
+                // does not carry; approximate from radio-flags instead:
+                // LTE-family active devices load the MME, 2G/3G the SGSN.
+                let mut mme = 0u64;
+                let mut sgsn = 0u64;
+                for s in &summaries {
+                    let set = s.radio_flags.any;
+                    if set.contains(wtr_model::rat::Rat::G4)
+                        || set.contains(wtr_model::rat::Rat::NbIot)
+                    {
+                        mme += s.events;
+                    } else {
+                        sgsn += s.events;
+                    }
+                }
+                println!(
+                    "element attribution (approx. from radio-flags): MME-side {mme} events, SGSN-side {sgsn} events"
+                );
+            }
+            other => return Err(format!("unknown analysis {other:?}")),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `wtr platform-stats`: §3 statistics over a transaction log.
+pub fn platform_stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["transactions"], &[])?;
+    if args.flag("help") {
+        println!("wtr platform-stats --transactions txs.jsonl");
+        return Ok(());
+    }
+    let path = args.require("transactions")?;
+    let transactions =
+        probe_io::read_transactions(open_in(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let ov = platform::overview(&transactions);
+    println!(
+        "{} transactions, {} devices",
+        ov.total_transactions, ov.total_devices
+    );
+    print!(
+        "{}",
+        report::shares_table("devices per HMNO country", &ov.hmno_device_shares, 8)
+    );
+    let dyn_all = platform::dynamics(&transactions, None);
+    print!(
+        "{}",
+        report::cdf("signaling records per device", &dyn_all.records_all, 8)
+    );
+    println!(
+        "only-failed devices: {:.1}%; max VMNOs attempted by one: {}",
+        dyn_all.only_failed_fraction * 100.0,
+        dyn_all.max_vmnos_failed_device
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! One module per paper figure/table: each produces a plain data struct
+//! the reproduction harness prints and the tests assert on.
+//!
+//! | Module | Paper artifacts | Experiments |
+//! |---|---|---|
+//! | [`platform`] | §3.2 table, Fig. 2, Fig. 3 | E1–E5 |
+//! | [`population`] | §4.2 shares, Fig. 5, Fig. 6 | E6, E8–E10 |
+//! | [`activity`] | Fig. 7, Fig. 8 | E11, E12 |
+//! | [`rat_usage`] | Fig. 9 | E13 |
+//! | [`traffic`] | Fig. 10 | E14 |
+//! | [`smip`] | Fig. 11, §7.1 | E15–E17 |
+//! | [`verticals`] | Fig. 12 | E18 |
+//!
+//! Extensions beyond the paper's figures (motivated by its §1/§8/§9
+//! discussion): [`revenue`] (load-vs-wholesale-revenue asymmetry, E21),
+//! [`diurnal`] (machine vs human traffic shapes, E22).
+
+pub mod activity;
+pub mod diurnal;
+pub mod platform;
+pub mod population;
+pub mod rat_usage;
+pub mod revenue;
+pub mod smip;
+pub mod traffic;
+pub mod verticals;

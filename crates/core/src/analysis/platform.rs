@@ -1,0 +1,374 @@
+//! M2M platform dataset analyses (§3.2–§3.3; Fig. 2, Fig. 3).
+//!
+//! Input is the platform probe's transaction log. All statistics are
+//! computed exactly as the paper describes: device counts per HMNO,
+//! row-normalized visited-country matrices, per-device signaling-record
+//! distributions (split roaming/native), VMNOs-per-device, and
+//! inter-VMNO switch counts for multi-VMNO devices.
+
+use crate::metrics::{shares, CrossTab, Ecdf};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use wtr_model::country::Country;
+use wtr_model::ids::Plmn;
+use wtr_probes::records::{M2mMessageType, M2mTransaction};
+
+fn country_of(plmn: Plmn) -> String {
+    Country::by_mcc(plmn.mcc)
+        .map(|c| c.iso.to_owned())
+        .unwrap_or_else(|| format!("mcc{}", plmn.mcc))
+}
+
+/// Per-device aggregates extracted from the transaction log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformDevice {
+    /// Anonymized device ID.
+    pub device: u64,
+    /// Home PLMN of the SIM.
+    pub sim_plmn: Plmn,
+    /// Number of transactions.
+    pub records: u64,
+    /// Whether any transaction succeeded.
+    pub any_ok: bool,
+    /// Whether any transaction was observed while roaming
+    /// (visited country ≠ SIM country).
+    pub ever_roaming: bool,
+    /// Distinct visited PLMN keys.
+    pub vmnos: BTreeSet<u32>,
+    /// Distinct visited country ISO codes.
+    pub countries: BTreeSet<String>,
+    /// Number of inter-VMNO switches (changes of visited PLMN between
+    /// consecutive transactions in time order).
+    pub switches: u64,
+}
+
+/// Groups transactions per device. Transactions need not be pre-sorted.
+pub fn per_device(transactions: &[M2mTransaction]) -> Vec<PlatformDevice> {
+    let mut order: HashMap<u64, Vec<(u64, Plmn)>> = HashMap::new();
+    let mut map: HashMap<u64, PlatformDevice> = HashMap::new();
+    for t in transactions {
+        let d = map.entry(t.device).or_insert_with(|| PlatformDevice {
+            device: t.device,
+            sim_plmn: t.sim_plmn,
+            records: 0,
+            any_ok: false,
+            ever_roaming: false,
+            vmnos: BTreeSet::new(),
+            countries: BTreeSet::new(),
+            switches: 0,
+        });
+        d.records += 1;
+        d.any_ok |= t.result.is_ok();
+        let roaming = country_of(t.sim_plmn) != country_of(t.visited_plmn);
+        d.ever_roaming |= roaming;
+        d.vmnos.insert(t.visited_plmn.packed());
+        d.countries.insert(country_of(t.visited_plmn));
+        // Cancel Location arrives at the *old* VMNO concurrently with the
+        // new VMNO's registration; counting it in the serving sequence
+        // would double-count every switch, so the switch metric follows
+        // the Authentication/Update-Location sequence only.
+        if t.message != M2mMessageType::CancelLocation {
+            order
+                .entry(t.device)
+                .or_default()
+                .push((t.time.as_secs(), t.visited_plmn));
+        }
+    }
+    for (device, mut seq) in order {
+        seq.sort_by_key(|(t, _)| *t);
+        let switches = seq.windows(2).filter(|w| w[0].1 != w[1].1).count() as u64;
+        map.get_mut(&device).expect("device exists").switches = switches;
+    }
+    let mut out: Vec<PlatformDevice> = map.into_values().collect();
+    out.sort_by_key(|d| d.device);
+    out
+}
+
+/// The §3.2 overview: HMNO shares, footprints, signaling distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformOverview {
+    /// Total transactions in the log.
+    pub total_transactions: usize,
+    /// Total distinct devices.
+    pub total_devices: usize,
+    /// `(home-country ISO, device count, device share)`, descending (E1).
+    pub hmno_device_shares: Vec<(String, f64, f64)>,
+    /// `(home-country ISO, transaction share)` — ES carries 81.8% in the
+    /// paper.
+    pub hmno_signaling_shares: Vec<(String, f64, f64)>,
+    /// Devices per (HMNO country, visited country) — Fig. 2 before row
+    /// normalization (E2).
+    pub visited_matrix: CrossTab,
+    /// Distinct visited countries per HMNO country.
+    pub countries_per_hmno: BTreeMap<String, usize>,
+    /// Distinct VMNOs per HMNO country.
+    pub vmnos_per_hmno: BTreeMap<String, usize>,
+    /// Fraction of each HMNO's devices that never roam (MX ≈ 90% in the
+    /// paper).
+    pub home_fraction_per_hmno: BTreeMap<String, f64>,
+}
+
+/// Computes the §3.2 overview (E1/E2).
+pub fn overview(transactions: &[M2mTransaction]) -> PlatformOverview {
+    let devices = per_device(transactions);
+    let mut device_counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut signaling_counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut visited_matrix = CrossTab::new();
+    let mut countries: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut vmnos: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    let mut home_devices: BTreeMap<String, f64> = BTreeMap::new();
+    for d in &devices {
+        let home = country_of(d.sim_plmn);
+        *device_counts.entry(home.clone()).or_insert(0.0) += 1.0;
+        *signaling_counts.entry(home.clone()).or_insert(0.0) += d.records as f64;
+        for c in &d.countries {
+            visited_matrix.add(&home, c, 1.0);
+            countries.entry(home.clone()).or_default().insert(c.clone());
+        }
+        for v in &d.vmnos {
+            vmnos.entry(home.clone()).or_default().insert(*v);
+        }
+        if !d.ever_roaming {
+            *home_devices.entry(home.clone()).or_insert(0.0) += 1.0;
+        }
+    }
+    let home_fraction_per_hmno = device_counts
+        .iter()
+        .map(|(h, n)| {
+            let at_home = home_devices.get(h).copied().unwrap_or(0.0);
+            (h.clone(), if *n > 0.0 { at_home / n } else { 0.0 })
+        })
+        .collect();
+    PlatformOverview {
+        total_transactions: transactions.len(),
+        total_devices: devices.len(),
+        hmno_device_shares: shares(device_counts),
+        hmno_signaling_shares: shares(signaling_counts),
+        visited_matrix,
+        countries_per_hmno: countries.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        vmnos_per_hmno: vmnos.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        home_fraction_per_hmno,
+    }
+}
+
+/// The Fig. 3 device-level dynamics (E3–E5), optionally restricted to one
+/// HMNO (the paper restricts §3.3 to the Spanish provider).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceDynamics {
+    /// Signaling records per device, all devices (Fig. 3-left, "all").
+    pub records_all: Ecdf,
+    /// Records per device with ≥1 successful 4G procedure ("4G devices").
+    pub records_ok: Ecdf,
+    /// Records per roaming device.
+    pub records_roaming: Ecdf,
+    /// Records per native (never-roaming) device.
+    pub records_native: Ecdf,
+    /// Distinct VMNOs per *roaming* device (Fig. 3-center).
+    pub vmnos_roaming: Ecdf,
+    /// Inter-VMNO switches per device with ≥2 VMNOs (Fig. 3-right).
+    pub switches_multi_vmno: Ecdf,
+    /// Fraction of devices with only failed procedures (§3.3: 40%).
+    pub only_failed_fraction: f64,
+    /// Max VMNOs attempted by an only-failed device (§3.3: up to 19).
+    pub max_vmnos_failed_device: usize,
+}
+
+/// Computes Fig. 3's distributions (E3–E5).
+pub fn dynamics(transactions: &[M2mTransaction], hmno: Option<Plmn>) -> DeviceDynamics {
+    let devices: Vec<PlatformDevice> = per_device(transactions)
+        .into_iter()
+        .filter(|d| hmno.is_none_or(|h| d.sim_plmn == h))
+        .collect();
+    let records_all = Ecdf::new(devices.iter().map(|d| d.records as f64).collect());
+    let records_ok = Ecdf::new(
+        devices
+            .iter()
+            .filter(|d| d.any_ok)
+            .map(|d| d.records as f64)
+            .collect(),
+    );
+    let records_roaming = Ecdf::new(
+        devices
+            .iter()
+            .filter(|d| d.ever_roaming)
+            .map(|d| d.records as f64)
+            .collect(),
+    );
+    let records_native = Ecdf::new(
+        devices
+            .iter()
+            .filter(|d| !d.ever_roaming)
+            .map(|d| d.records as f64)
+            .collect(),
+    );
+    let vmnos_roaming = Ecdf::new(
+        devices
+            .iter()
+            .filter(|d| d.ever_roaming)
+            .map(|d| d.vmnos.len() as f64)
+            .collect(),
+    );
+    let switches_multi_vmno = Ecdf::new(
+        devices
+            .iter()
+            .filter(|d| d.vmnos.len() >= 2)
+            .map(|d| d.switches as f64)
+            .collect(),
+    );
+    let failed: Vec<&PlatformDevice> = devices.iter().filter(|d| !d.any_ok).collect();
+    let only_failed_fraction = if devices.is_empty() {
+        0.0
+    } else {
+        failed.len() as f64 / devices.len() as f64
+    };
+    let max_vmnos_failed_device = failed.iter().map(|d| d.vmnos.len()).max().unwrap_or(0);
+    DeviceDynamics {
+        records_all,
+        records_ok,
+        records_roaming,
+        records_native,
+        vmnos_roaming,
+        switches_multi_vmno,
+        only_failed_fraction,
+        max_vmnos_failed_device,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::time::SimTime;
+    use wtr_probes::records::M2mMessageType;
+    use wtr_sim::events::ProcedureResult;
+
+    const ES: Plmn = Plmn::of(214, 7);
+    const UK: Plmn = Plmn::of(234, 30);
+    const FR: Plmn = Plmn::of(208, 1);
+    const ES2: Plmn = Plmn::of(214, 1);
+
+    fn tx(device: u64, t: u64, sim: Plmn, visited: Plmn, ok: bool) -> M2mTransaction {
+        M2mTransaction {
+            device,
+            time: SimTime::from_secs(t),
+            sim_plmn: sim,
+            visited_plmn: visited,
+            message: M2mMessageType::UpdateLocation,
+            result: if ok {
+                ProcedureResult::Ok
+            } else {
+                ProcedureResult::RoamingNotAllowed
+            },
+        }
+    }
+
+    #[test]
+    fn per_device_counts_switches_in_time_order() {
+        // Shuffled input: switches must follow timestamps, not input order.
+        let txs = vec![
+            tx(1, 30, ES, FR, true),
+            tx(1, 10, ES, UK, true),
+            tx(1, 20, ES, UK, true),
+            tx(1, 40, ES, UK, true),
+        ];
+        let devs = per_device(&txs);
+        assert_eq!(devs.len(), 1);
+        let d = &devs[0];
+        assert_eq!(d.records, 4);
+        assert_eq!(d.vmnos.len(), 2);
+        // UK → UK → FR → UK = 2 switches.
+        assert_eq!(d.switches, 2);
+        assert!(d.ever_roaming);
+    }
+
+    #[test]
+    fn national_roaming_within_country_is_not_roaming() {
+        // ES SIM on another ES network: same country → not roaming.
+        let txs = vec![tx(1, 0, ES, ES2, true)];
+        let devs = per_device(&txs);
+        assert!(!devs[0].ever_roaming);
+    }
+
+    #[test]
+    fn overview_shares_and_footprint() {
+        let txs = vec![
+            tx(1, 0, ES, UK, true),
+            tx(1, 10, ES, FR, true),
+            tx(2, 0, ES, ES, true),
+            tx(3, 0, Plmn::of(334, 20), Plmn::of(334, 20), true),
+        ];
+        let ov = overview(&txs);
+        assert_eq!(ov.total_devices, 3);
+        assert_eq!(ov.total_transactions, 4);
+        let es = ov
+            .hmno_device_shares
+            .iter()
+            .find(|(c, _, _)| c == "ES")
+            .unwrap();
+        assert!((es.2 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ov.countries_per_hmno["ES"], 3); // GB, FR, ES
+        assert_eq!(ov.vmnos_per_hmno["ES"], 3);
+        // MX device never roams; one of two ES devices stays home.
+        assert!((ov.home_fraction_per_hmno["MX"] - 1.0).abs() < 1e-12);
+        assert!((ov.home_fraction_per_hmno["ES"] - 0.5).abs() < 1e-12);
+        // Fig. 2 matrix row-normalizes to 1.
+        let row_sum: f64 = ov
+            .visited_matrix
+            .cols()
+            .iter()
+            .map(|c| ov.visited_matrix.row_share("ES", c))
+            .sum();
+        assert!((row_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamics_failure_stats() {
+        let txs = vec![
+            // Device 1: succeeds.
+            tx(1, 0, ES, UK, true),
+            // Device 2: only failures across 3 VMNOs.
+            tx(2, 0, ES, UK, false),
+            tx(2, 10, ES, FR, false),
+            tx(2, 20, ES, ES2, false),
+        ];
+        let dyn_ = dynamics(&txs, None);
+        assert!((dyn_.only_failed_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(dyn_.max_vmnos_failed_device, 3);
+        assert_eq!(dyn_.records_all.len(), 2);
+        assert_eq!(dyn_.records_ok.len(), 1);
+    }
+
+    #[test]
+    fn dynamics_hmno_filter() {
+        let mx = Plmn::of(334, 20);
+        let txs = vec![tx(1, 0, ES, UK, true), tx(2, 0, mx, mx, true)];
+        let all = dynamics(&txs, None);
+        let es_only = dynamics(&txs, Some(ES));
+        assert_eq!(all.records_all.len(), 2);
+        assert_eq!(es_only.records_all.len(), 1);
+    }
+
+    #[test]
+    fn vmnos_only_counts_roaming_devices() {
+        let mx = Plmn::of(334, 20);
+        let txs = vec![
+            tx(1, 0, ES, UK, true),
+            tx(1, 5, ES, FR, true),
+            tx(2, 0, mx, mx, true),
+        ];
+        let dyn_ = dynamics(&txs, None);
+        assert_eq!(dyn_.vmnos_roaming.len(), 1);
+        assert_eq!(dyn_.vmnos_roaming.max(), Some(2.0));
+        // Device 1 has 2 VMNOs → included in switch ECDF with 1 switch.
+        assert_eq!(dyn_.switches_multi_vmno.len(), 1);
+        assert_eq!(dyn_.switches_multi_vmno.max(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_log() {
+        let dyn_ = dynamics(&[], None);
+        assert!(dyn_.records_all.is_empty());
+        assert_eq!(dyn_.only_failed_fraction, 0.0);
+        let ov = overview(&[]);
+        assert_eq!(ov.total_devices, 0);
+    }
+}

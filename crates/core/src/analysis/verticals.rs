@@ -1,0 +1,154 @@
+//! IoT vertical comparison: connected cars vs smart meters (§7.2; Fig. 12).
+//!
+//! "Using the exposed APN information from inbound roaming IoT devices …
+//! we separate devices mapping to connected cars. We further use this
+//! dataset to contrast against the traffic patterns of smart energy
+//! meters." Cars should look like inbound-roaming smartphones (high
+//! mobility, high signaling, real data); meters should be stationary with
+//! tiny traffic.
+
+use crate::keywords::{match_m2m_keyword, VerticalHint};
+use crate::metrics::Ecdf;
+use crate::summary::DeviceSummary;
+use serde::{Deserialize, Serialize};
+
+/// Traffic/mobility profile of one identified vertical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerticalProfile {
+    /// Human label ("connected-cars", "smart-meters").
+    pub name: String,
+    /// Devices identified.
+    pub devices: usize,
+    /// Radius of gyration per device, km (Fig. 12-left).
+    pub gyration_km: Ecdf,
+    /// Signaling events per active day (Fig. 12-center).
+    pub signaling_per_day: Ecdf,
+    /// Bytes per active day (Fig. 12-right).
+    pub bytes_per_day: Ecdf,
+}
+
+fn profile_of<'a>(name: &str, devices: impl Iterator<Item = &'a DeviceSummary>) -> VerticalProfile {
+    let group: Vec<&DeviceSummary> = devices.collect();
+    VerticalProfile {
+        name: name.to_owned(),
+        devices: group.len(),
+        gyration_km: Ecdf::new(group.iter().filter_map(|s| s.gyration_km()).collect()),
+        signaling_per_day: Ecdf::new(group.iter().map(|s| s.events_per_active_day()).collect()),
+        bytes_per_day: Ecdf::new(group.iter().map(|s| s.bytes_per_active_day()).collect()),
+    }
+}
+
+/// Splits inbound-roaming devices into verticals by APN hint and profiles
+/// the two Fig. 12 groups.
+pub fn compare(summaries: &[DeviceSummary]) -> (VerticalProfile, VerticalProfile) {
+    let hint_of = |s: &DeviceSummary| -> Option<VerticalHint> {
+        s.apns
+            .iter()
+            .find_map(|a| match_m2m_keyword(a).map(|(_, h)| h))
+    };
+    let cars = profile_of(
+        "connected-cars",
+        summaries.iter().filter(|s| {
+            s.dominant_label.is_international_inbound()
+                && hint_of(s) == Some(VerticalHint::Automotive)
+        }),
+    );
+    let meters = profile_of(
+        "smart-meters",
+        summaries.iter().filter(|s| {
+            s.dominant_label.is_international_inbound() && hint_of(s) == Some(VerticalHint::Energy)
+        }),
+    );
+    (cars, meters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::summarize;
+    use wtr_model::ids::{Plmn, Tac};
+    use wtr_model::roaming::RoamingLabel;
+    use wtr_model::time::Day;
+    use wtr_probes::catalog::DevicesCatalog;
+    use wtr_radio::geo::GeoPoint;
+
+    fn tac() -> Tac {
+        Tac::new(35_000_000).unwrap()
+    }
+
+    fn build() -> Vec<DeviceSummary> {
+        let mut cat = DevicesCatalog::new(10);
+        // A car: automotive APN, mobile, chatty, data-heavy.
+        for day in 0..10u32 {
+            let r = cat.row_mut(1, Day(day), Plmn::of(262, 2), tac(), RoamingLabel::IH);
+            r.apns.insert("fleet.scania.com.mnc002.mcc262.gprs".into());
+            r.events += 50;
+            r.data_sessions += 20;
+            r.bytes_up += 1_000_000;
+            r.bytes_down += 2_000_000;
+            for k in 0..5 {
+                r.mobility.add(
+                    GeoPoint::new(50.0 + day as f64 * 0.3 + k as f64 * 0.1, 8.0),
+                    1.0,
+                );
+            }
+        }
+        // A meter: energy APN, stationary, quiet.
+        for day in 0..10u32 {
+            let r = cat.row_mut(2, Day(day), Plmn::of(204, 4), tac(), RoamingLabel::IH);
+            r.apns
+                .insert("smhp.centricaplc.com.mnc004.mcc204.gprs".into());
+            r.events += 5;
+            r.data_sessions += 1;
+            r.bytes_up += 1_500;
+            r.mobility.add(GeoPoint::new(52.0, -1.0), 1.0);
+        }
+        // A native car-APN device: excluded (not inbound roaming).
+        let r = cat.row_mut(3, Day(0), Plmn::of(234, 30), tac(), RoamingLabel::HH);
+        r.apns.insert("fleet.scania.com".into());
+        summarize(&cat)
+    }
+
+    #[test]
+    fn cars_and_meters_separated() {
+        let sums = build();
+        let (cars, meters) = compare(&sums);
+        assert_eq!(cars.devices, 1);
+        assert_eq!(meters.devices, 1);
+    }
+
+    #[test]
+    fn fig12_contrasts_hold() {
+        let sums = build();
+        let (cars, meters) = compare(&sums);
+        // Mobility: cars travel, meters don't.
+        assert!(cars.gyration_km.median().unwrap() > 10.0);
+        assert!(meters.gyration_km.median().unwrap() < 0.001);
+        // Signaling: cars ≫ meters.
+        assert!(
+            cars.signaling_per_day.median().unwrap()
+                > 5.0 * meters.signaling_per_day.median().unwrap()
+        );
+        // Data: cars ≫ meters.
+        assert!(
+            cars.bytes_per_day.median().unwrap() > 100.0 * meters.bytes_per_day.median().unwrap()
+        );
+    }
+
+    #[test]
+    fn native_devices_excluded() {
+        let sums = build();
+        let (cars, _) = compare(&sums);
+        // Device 3 has a car APN but is native: excluded.
+        assert_eq!(cars.devices, 1);
+    }
+
+    #[test]
+    fn empty_population() {
+        let (cars, meters) = compare(&[]);
+        assert_eq!(cars.devices, 0);
+        assert_eq!(meters.devices, 0);
+        assert!(cars.gyration_km.is_empty());
+        assert!(meters.bytes_per_day.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! The APN keyword vocabulary (§4.3).
+//!
+//! "Ranking the APNs by number of devices using it, we identified 26
+//! 'keywords' in the APN string which we mapped to M2M/IoT verticals using
+//! information found online (e.g., scania — automotive company, rwe —
+//! energy company, intelligent.m2m — global IoT SIM provider)."
+//!
+//! This module carries that vocabulary: 26 M2M keywords each mapped to a
+//! vertical hint, plus the consumer keywords (e.g. `payandgo`) used for the
+//! `smart` / `feat` classes. Keywords match as substrings of APN
+//! network-identifier labels, case-insensitively.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The vertical a keyword hints at — the industry of the APN's owner, as
+/// one would find "online".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VerticalHint {
+    /// Energy / utilities (smart meters).
+    Energy,
+    /// Automotive (connected cars, trucks).
+    Automotive,
+    /// Logistics / asset tracking.
+    Logistics,
+    /// Payments / POS terminals.
+    Payments,
+    /// Security / alarm services.
+    Security,
+    /// Wearables / consumer IoT gadgets.
+    Wearables,
+    /// Industrial telemetry.
+    Industrial,
+    /// A global IoT SIM / M2M platform provider.
+    IotPlatform,
+}
+
+impl fmt::Display for VerticalHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VerticalHint::Energy => "energy",
+            VerticalHint::Automotive => "automotive",
+            VerticalHint::Logistics => "logistics",
+            VerticalHint::Payments => "payments",
+            VerticalHint::Security => "security",
+            VerticalHint::Wearables => "wearables",
+            VerticalHint::Industrial => "industrial",
+            VerticalHint::IotPlatform => "iot-platform",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 26 M2M keywords with their vertical hints.
+///
+/// Energy entries include the five UK energy companies §4.4 identifies in
+/// SMIP-roaming APNs (Elster, RWE, Centrica, General Electric, BGLOBAL).
+pub const M2M_KEYWORDS: &[(&str, VerticalHint)] = &[
+    // Energy / smart metering.
+    ("centrica", VerticalHint::Energy),
+    ("centricaplc", VerticalHint::Energy),
+    ("rwe", VerticalHint::Energy),
+    ("elster", VerticalHint::Energy),
+    ("bglobal", VerticalHint::Energy),
+    ("generalelectric", VerticalHint::Energy),
+    ("smhp", VerticalHint::Energy),
+    ("smartmeter", VerticalHint::Energy),
+    ("metering", VerticalHint::Energy),
+    // Automotive.
+    ("scania", VerticalHint::Automotive),
+    ("telematics", VerticalHint::Automotive),
+    ("connectedcar", VerticalHint::Automotive),
+    ("automotive", VerticalHint::Automotive),
+    ("fleet", VerticalHint::Automotive),
+    // Logistics / tracking.
+    ("tracker", VerticalHint::Logistics),
+    ("tracking", VerticalHint::Logistics),
+    ("logistics", VerticalHint::Logistics),
+    ("asset", VerticalHint::Logistics),
+    // Payments.
+    ("pos", VerticalHint::Payments),
+    ("payment", VerticalHint::Payments),
+    // Security.
+    ("alarm", VerticalHint::Security),
+    ("securitas", VerticalHint::Security),
+    // Wearables / industrial.
+    ("wearable", VerticalHint::Wearables),
+    ("telemetry", VerticalHint::Industrial),
+    // IoT platform providers.
+    ("intelligent-m2m", VerticalHint::IotPlatform),
+    ("m2m", VerticalHint::IotPlatform),
+];
+
+/// Consumer-service keywords (§4.3 names `payandgo` as the example).
+pub const CONSUMER_KEYWORDS: &[&str] = &[
+    "payandgo",
+    "internet",
+    "web",
+    "wap",
+    "mms",
+    "prepay",
+    "contract",
+    "broadband",
+    "mobile",
+];
+
+/// Finds the first M2M keyword matching `apn_string` (any label substring,
+/// input need not be lowercase).
+pub fn match_m2m_keyword(apn_string: &str) -> Option<(&'static str, VerticalHint)> {
+    let lower = apn_string.to_ascii_lowercase();
+    // Longer keywords first so `centricaplc` wins over `centrica`, and
+    // specific names win over the generic `m2m`.
+    let mut sorted: Vec<&(&str, VerticalHint)> = M2M_KEYWORDS.iter().collect();
+    sorted.sort_by_key(|(k, _)| std::cmp::Reverse(k.len()));
+    for (kw, hint) in sorted {
+        if lower.contains(kw) {
+            return Some((kw, *hint));
+        }
+    }
+    None
+}
+
+/// Whether `apn_string` matches a consumer keyword.
+pub fn is_consumer_apn(apn_string: &str) -> bool {
+    let lower = apn_string.to_ascii_lowercase();
+    CONSUMER_KEYWORDS.iter().any(|kw| lower.contains(kw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_has_26_m2m_keywords() {
+        assert_eq!(M2M_KEYWORDS.len(), 26, "the paper's keyword count");
+    }
+
+    #[test]
+    fn keywords_are_lowercase_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for (kw, _) in M2M_KEYWORDS {
+            assert_eq!(*kw, kw.to_ascii_lowercase());
+            assert!(seen.insert(*kw), "{kw} duplicated");
+        }
+    }
+
+    #[test]
+    fn paper_examples_match() {
+        // §4.3's worked examples.
+        assert_eq!(
+            match_m2m_keyword("fleetweb.scania.com").map(|(_, h)| h),
+            Some(VerticalHint::Automotive)
+        );
+        assert_eq!(
+            match_m2m_keyword("telemetry.rwe.de").map(|(_, h)| h),
+            Some(VerticalHint::Industrial) // telemetry is longer than rwe
+        );
+        assert_eq!(
+            match_m2m_keyword("smhp.centricaplc.com.mnc004.mcc204.gprs").map(|(_, h)| h),
+            Some(VerticalHint::Energy)
+        );
+        assert_eq!(
+            match_m2m_keyword("intelligent-m2m.provider").map(|(k, _)| k),
+            Some("intelligent-m2m")
+        );
+    }
+
+    #[test]
+    fn longest_keyword_wins() {
+        // `centricaplc` must win over `centrica`; `intelligent-m2m` over
+        // bare `m2m`.
+        assert_eq!(
+            match_m2m_keyword("x.centricaplc.y").map(|(k, _)| k),
+            Some("centricaplc")
+        );
+        assert_eq!(match_m2m_keyword("a.m2m.b").map(|(k, _)| k), Some("m2m"));
+    }
+
+    #[test]
+    fn consumer_keywords_match() {
+        assert!(is_consumer_apn("payandgo.o2.co.uk"));
+        assert!(is_consumer_apn("Internet"));
+        assert!(!is_consumer_apn("smhp.centricaplc.com"));
+    }
+
+    #[test]
+    fn generic_strings_do_not_match_m2m() {
+        assert!(match_m2m_keyword("internet").is_none());
+        assert!(match_m2m_keyword("payandgo.example").is_none());
+        assert!(match_m2m_keyword("").is_none());
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(match_m2m_keyword("SCANIA.COM").is_some());
+        assert!(is_consumer_apn("PAYANDGO"));
+    }
+}

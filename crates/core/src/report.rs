@@ -1,0 +1,175 @@
+//! Terminal rendering: aligned tables, share bars and ASCII CDFs.
+//!
+//! The reproduction harness prints every figure as text; these helpers
+//! keep the output readable and consistent across experiments.
+
+use crate::metrics::{CrossTab, Ecdf};
+use std::fmt::Write as _;
+
+/// Renders an aligned table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    render_row(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Renders a horizontal share bar (`####----`) of `width` characters.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let f = fraction.clamp(0.0, 1.0);
+    let filled = (f * width as f64).round() as usize;
+    format!(
+        "{}{}",
+        "#".repeat(filled),
+        "·".repeat(width.saturating_sub(filled))
+    )
+}
+
+/// Renders labeled shares as bar rows: `label  count  share  bar`.
+pub fn shares_table(title: &str, rows: &[(String, f64, f64)], top: usize) -> String {
+    let mut out = format!("{title}\n");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .take(top)
+        .map(|(label, count, share)| {
+            vec![
+                label.clone(),
+                format!("{count:.0}"),
+                format!("{:5.1}%", share * 100.0),
+                bar(*share, 30),
+            ]
+        })
+        .collect();
+    out.push_str(&table(&["label", "count", "share", ""], &body));
+    out
+}
+
+/// Renders an ECDF as rows of `x  F(x)` with a bar, plus summary stats.
+pub fn cdf(title: &str, ecdf: &Ecdf, points: usize) -> String {
+    let mut out = format!("{title}\n");
+    if ecdf.is_empty() {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "  n={} mean={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}",
+        ecdf.len(),
+        ecdf.mean().unwrap_or(0.0),
+        ecdf.quantile(0.5).unwrap_or(0.0),
+        ecdf.quantile(0.9).unwrap_or(0.0),
+        ecdf.quantile(0.99).unwrap_or(0.0),
+        ecdf.max().unwrap_or(0.0),
+    );
+    for (x, f) in ecdf.curve(points) {
+        let _ = writeln!(out, "  {:>14.3}  {:>6.1}%  {}", x, f * 100.0, bar(f, 30));
+    }
+    out
+}
+
+/// Renders a row-normalized cross-tab heatmap as text (values in %).
+pub fn heatmap_row_normalized(title: &str, tab: &CrossTab) -> String {
+    let rows = tab.rows();
+    let cols = tab.cols();
+    let mut body = Vec::new();
+    for r in &rows {
+        let mut cells = vec![r.clone()];
+        for c in &cols {
+            cells.push(format!("{:5.1}", tab.row_share(r, c) * 100.0));
+        }
+        body.push(cells);
+    }
+    let mut headers: Vec<&str> = vec![""];
+    headers.extend(cols.iter().map(String::as_str));
+    format!("{title} (row %)\n{}", table(&headers, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // Columns align: "value" and "22" start at the same offset.
+        let header_off = lines[0].find("value").unwrap();
+        let cell_off = lines[3].find("22").unwrap();
+        assert_eq!(header_off, cell_off);
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.0, 10), "··········");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(2.0, 10), "##########");
+        assert_eq!(bar(-1.0, 10), "··········");
+        assert_eq!(bar(0.5, 10), "#####·····");
+    }
+
+    #[test]
+    fn cdf_renders_stats_and_handles_empty() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let out = cdf("records", &e, 8);
+        assert!(out.contains("n=100"));
+        assert!(out.contains("p50=50"));
+        let empty = cdf("nothing", &Ecdf::new(vec![]), 8);
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn shares_table_truncates_to_top() {
+        let rows = vec![
+            ("NL".to_owned(), 60.0, 0.6),
+            ("SE".to_owned(), 30.0, 0.3),
+            ("ES".to_owned(), 10.0, 0.1),
+        ];
+        let out = shares_table("home countries", &rows, 2);
+        assert!(out.contains("NL"));
+        assert!(out.contains("SE"));
+        assert!(!out.contains("ES"));
+    }
+
+    #[test]
+    fn heatmap_contains_percentages() {
+        let mut t = CrossTab::new();
+        t.add("m2m", "I:H", 3.0);
+        t.add("m2m", "H:H", 1.0);
+        let out = heatmap_row_normalized("fig6", &t);
+        assert!(out.contains("75.0"));
+        assert!(out.contains("25.0"));
+    }
+}

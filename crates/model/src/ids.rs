@@ -1,0 +1,598 @@
+//! Core cellular identifiers: MCC, MNC, PLMN, IMSI, IMEI and TAC.
+//!
+//! Identifiers are stored in compact numeric form but parse from / display
+//! as their standard digit-string representation. Construction is validated:
+//! a value of these types is always well-formed, so downstream code never
+//! re-checks.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+fn parse_digits(s: &str) -> Result<u64, ParseError> {
+    if s.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut v: u64 = 0;
+    for (i, b) in s.bytes().enumerate() {
+        if !b.is_ascii_digit() {
+            return Err(ParseError::NonDigit { offset: i });
+        }
+        v = v * 10 + (b - b'0') as u64;
+    }
+    Ok(v)
+}
+
+/// Mobile Country Code: a 3-digit code in `200..=799` identifying the
+/// country a PLMN belongs to (ITU E.212 geographic range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Mcc(u16);
+
+impl Mcc {
+    /// Creates an MCC, validating the E.212 geographic range `200..=799`.
+    pub const fn new(value: u16) -> Result<Self, ParseError> {
+        if value >= 200 && value <= 799 {
+            Ok(Mcc(value))
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "MCC",
+                allowed: "200..=799",
+            })
+        }
+    }
+
+    /// Numeric value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Mcc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03}", self.0)
+    }
+}
+
+impl FromStr for Mcc {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        if s.len() != 3 {
+            return Err(ParseError::BadLength {
+                what: "MCC",
+                expected: "3 digits",
+                found: s.len(),
+            });
+        }
+        Mcc::new(parse_digits(s)? as u16)
+    }
+}
+
+/// Mobile Network Code: a 2- or 3-digit code identifying an operator within
+/// a country. The digit count is significant (`05` ≠ `005`), so it is kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mnc {
+    value: u16,
+    digits: u8,
+}
+
+impl Mnc {
+    /// Creates a 2-digit MNC (`00`–`99`), the European convention.
+    pub const fn new2(value: u16) -> Result<Self, ParseError> {
+        if value <= 99 {
+            Ok(Mnc { value, digits: 2 })
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "2-digit MNC",
+                allowed: "0..=99",
+            })
+        }
+    }
+
+    /// Creates a 3-digit MNC (`000`–`999`), the North-American convention.
+    pub const fn new3(value: u16) -> Result<Self, ParseError> {
+        if value <= 999 {
+            Ok(Mnc { value, digits: 3 })
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "3-digit MNC",
+                allowed: "0..=999",
+            })
+        }
+    }
+
+    /// Numeric value.
+    pub const fn value(self) -> u16 {
+        self.value
+    }
+
+    /// Number of digits (2 or 3) in the canonical string form.
+    pub const fn digits(self) -> u8 {
+        self.digits
+    }
+}
+
+impl fmt::Display for Mnc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.digits == 2 {
+            write!(f, "{:02}", self.value)
+        } else {
+            write!(f, "{:03}", self.value)
+        }
+    }
+}
+
+impl FromStr for Mnc {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let v = parse_digits(s)? as u16;
+        match s.len() {
+            2 => Mnc::new2(v),
+            3 => Mnc::new3(v),
+            n => Err(ParseError::BadLength {
+                what: "MNC",
+                expected: "2 or 3 digits",
+                found: n,
+            }),
+        }
+    }
+}
+
+/// A Public Land Mobile Network identifier: the MCC-MNC pair that names one
+/// operator network (e.g. `214-07`).
+///
+/// PLMNs appear in three roles throughout the reproduction: the SIM's home
+/// network, the visited network a device is attached to, and the operator
+/// part of an APN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Plmn {
+    /// Country code.
+    pub mcc: Mcc,
+    /// Network code.
+    pub mnc: Mnc,
+}
+
+impl Plmn {
+    /// Creates a PLMN from parts.
+    pub const fn new(mcc: Mcc, mnc: Mnc) -> Self {
+        Plmn { mcc, mnc }
+    }
+
+    /// Convenience constructor from raw numbers with a 2-digit MNC.
+    ///
+    /// Panics on out-of-range input; intended for registry tables and tests
+    /// where values are literals.
+    pub const fn of(mcc: u16, mnc: u16) -> Self {
+        let mcc = match Mcc::new(mcc) {
+            Ok(m) => m,
+            Err(_) => panic!("invalid literal MCC"),
+        };
+        let mnc = match Mnc::new2(mnc) {
+            Ok(m) => m,
+            Err(_) => panic!("invalid literal 2-digit MNC"),
+        };
+        Plmn { mcc, mnc }
+    }
+
+    /// Packs the PLMN into a sortable `u32` key (`mcc * 1000 + mnc`,
+    /// 3-digit MNCs offset to avoid colliding with 2-digit ones).
+    pub const fn packed(self) -> u32 {
+        let mnc_key = if self.mnc.digits() == 2 {
+            self.mnc.value() as u32
+        } else {
+            // 3-digit MNCs live in 100..=1099 of the key space so that
+            // e.g. MNC "05" (5) and "005" (105) remain distinct.
+            self.mnc.value() as u32 + 100
+        };
+        self.mcc.value() as u32 * 2000 + mnc_key
+    }
+}
+
+impl fmt::Display for Plmn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.mcc, self.mnc)
+    }
+}
+
+impl FromStr for Plmn {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let (mcc, mnc) = s.split_once('-').ok_or(ParseError::BadApn {
+            reason: "PLMN must be MCC-MNC",
+        })?;
+        Ok(Plmn::new(mcc.parse()?, mnc.parse()?))
+    }
+}
+
+/// International Mobile Subscriber Identity: MCC + MNC + up-to-10-digit
+/// MSIN, at most 15 digits total. Identifies a SIM.
+///
+/// ```
+/// use wtr_model::ids::{Imsi, Plmn};
+///
+/// let imsi: Imsi = "204040123456789".parse().unwrap();
+/// assert_eq!(imsi.plmn(), Plmn::of(204, 4));
+/// assert_eq!(imsi.msin(), 123_456_789);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imsi {
+    plmn: Plmn,
+    msin: u64,
+}
+
+/// Maximum MSIN value: 10 decimal digits.
+const MSIN_MAX: u64 = 9_999_999_999;
+
+impl Imsi {
+    /// Creates an IMSI from its home PLMN and subscriber number.
+    pub const fn new(plmn: Plmn, msin: u64) -> Result<Self, ParseError> {
+        if msin <= MSIN_MAX {
+            Ok(Imsi { plmn, msin })
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "MSIN",
+                allowed: "at most 10 digits",
+            })
+        }
+    }
+
+    /// The SIM's home network.
+    pub const fn plmn(self) -> Plmn {
+        self.plmn
+    }
+
+    /// The subscriber part.
+    pub const fn msin(self) -> u64 {
+        self.msin
+    }
+
+    /// Packs the IMSI into a unique `u64` for hashing/anonymization.
+    pub const fn packed(self) -> u64 {
+        (self.plmn.packed() as u64) * 10_000_000_000 + self.msin
+    }
+}
+
+impl fmt::Display for Imsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // MSIN is rendered with enough digits to keep the full string
+        // unambiguous; 10 digits is the registry convention here.
+        write!(f, "{}{}{:010}", self.plmn.mcc, self.plmn.mnc, self.msin)
+    }
+}
+
+impl FromStr for Imsi {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        if s.len() < 6 || s.len() > 15 {
+            return Err(ParseError::BadLength {
+                what: "IMSI",
+                expected: "6..=15 digits",
+                found: s.len(),
+            });
+        }
+        let mcc: Mcc = s[..3].parse()?;
+        // MNC length is ambiguous from the string alone; this parser uses
+        // the European 2-digit convention, which matches every operator in
+        // the built-in registry.
+        let mnc: Mnc = s[3..5].parse()?;
+        let msin = parse_digits(&s[5..])?;
+        Imsi::new(Plmn::new(mcc, mnc), msin)
+    }
+}
+
+/// A half-open range of IMSIs within one PLMN, `[start, end)` on the MSIN.
+///
+/// The paper's UK MNO provisions SMIP smart-meter SIMs from "a dedicate IMSI
+/// range" (§4.4); GSMA guidance likewise recommends dedicated IMSI ranges to
+/// make outbound M2M traffic recognizable (§1). This type is how both are
+/// modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImsiRange {
+    /// PLMN the range belongs to.
+    pub plmn: Plmn,
+    /// First MSIN in the range.
+    pub start: u64,
+    /// One past the last MSIN in the range.
+    pub end: u64,
+}
+
+impl ImsiRange {
+    /// Creates a range; `start <= end` and both within MSIN bounds.
+    pub const fn new(plmn: Plmn, start: u64, end: u64) -> Result<Self, ParseError> {
+        if start <= end && end <= MSIN_MAX + 1 {
+            Ok(ImsiRange { plmn, start, end })
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "IMSI range",
+                allowed: "start <= end <= 10^10",
+            })
+        }
+    }
+
+    /// Whether `imsi` falls inside this range.
+    pub fn contains(&self, imsi: Imsi) -> bool {
+        imsi.plmn() == self.plmn && imsi.msin() >= self.start && imsi.msin() < self.end
+    }
+
+    /// Number of IMSIs in the range.
+    pub const fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The `i`-th IMSI of the range, if within bounds.
+    pub fn nth(&self, i: u64) -> Option<Imsi> {
+        if self.start + i < self.end {
+            Some(Imsi::new(self.plmn, self.start + i).expect("range validated"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Type Allocation Code: the first 8 digits of an IMEI, statically allocated
+/// to a device vendor + model (§4.1, footnote 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tac(u32);
+
+impl Tac {
+    /// Creates a TAC (8 decimal digits).
+    pub const fn new(value: u32) -> Result<Self, ParseError> {
+        if value <= 99_999_999 {
+            Ok(Tac(value))
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "TAC",
+                allowed: "8 digits",
+            })
+        }
+    }
+
+    /// Numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Tac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08}", self.0)
+    }
+}
+
+impl FromStr for Tac {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        if s.len() != 8 {
+            return Err(ParseError::BadLength {
+                what: "TAC",
+                expected: "8 digits",
+                found: s.len(),
+            });
+        }
+        Tac::new(parse_digits(s)? as u32)
+    }
+}
+
+/// International Mobile Equipment Identity: TAC (8 digits) + serial number
+/// (6 digits) + Luhn check digit. Identifies a physical device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imei {
+    tac: Tac,
+    snr: u32,
+}
+
+impl Imei {
+    /// Creates an IMEI from TAC and 6-digit serial number.
+    pub const fn new(tac: Tac, snr: u32) -> Result<Self, ParseError> {
+        if snr <= 999_999 {
+            Ok(Imei { tac, snr })
+        } else {
+            Err(ParseError::OutOfRange {
+                what: "IMEI serial number",
+                allowed: "6 digits",
+            })
+        }
+    }
+
+    /// The vendor/model allocation code.
+    pub const fn tac(self) -> Tac {
+        self.tac
+    }
+
+    /// The per-unit serial number.
+    pub const fn snr(self) -> u32 {
+        self.snr
+    }
+
+    /// Computes the Luhn check digit over the 14 identity digits.
+    pub fn check_digit(self) -> u8 {
+        let digits = self.identity_digits();
+        luhn_check_digit(&digits)
+    }
+
+    /// Packs the IMEI identity (without check digit) into a `u64`.
+    pub const fn packed(self) -> u64 {
+        self.tac.value() as u64 * 1_000_000 + self.snr as u64
+    }
+
+    fn identity_digits(self) -> [u8; 14] {
+        let mut out = [0u8; 14];
+        let mut v = self.packed();
+        let mut i = 14;
+        while i > 0 {
+            i -= 1;
+            out[i] = (v % 10) as u8;
+            v /= 10;
+        }
+        out
+    }
+}
+
+/// Luhn check digit over a digit slice (most-significant first).
+fn luhn_check_digit(digits: &[u8]) -> u8 {
+    let mut sum: u32 = 0;
+    // Walking right-to-left, double every other digit starting with the
+    // rightmost identity digit.
+    for (i, &d) in digits.iter().rev().enumerate() {
+        let mut d = d as u32;
+        if i % 2 == 0 {
+            d *= 2;
+            if d > 9 {
+                d -= 9;
+            }
+        }
+        sum += d;
+    }
+    ((10 - (sum % 10)) % 10) as u8
+}
+
+impl fmt::Display for Imei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:06}{}", self.tac, self.snr, self.check_digit())
+    }
+}
+
+impl FromStr for Imei {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        if s.len() != 15 {
+            return Err(ParseError::BadLength {
+                what: "IMEI",
+                expected: "15 digits",
+                found: s.len(),
+            });
+        }
+        let tac: Tac = s[..8].parse()?;
+        let snr = parse_digits(&s[8..14])? as u32;
+        let imei = Imei::new(tac, snr)?;
+        let found = parse_digits(&s[14..])? as u8;
+        let expected = imei.check_digit();
+        if found != expected {
+            return Err(ParseError::BadCheckDigit { found, expected });
+        }
+        Ok(imei)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcc_range_enforced() {
+        assert!(Mcc::new(214).is_ok());
+        assert!(Mcc::new(199).is_err());
+        assert!(Mcc::new(800).is_err());
+        assert_eq!(Mcc::new(234).unwrap().to_string(), "234");
+    }
+
+    #[test]
+    fn mcc_parse_requires_three_digits() {
+        assert!("21".parse::<Mcc>().is_err());
+        assert!("2140".parse::<Mcc>().is_err());
+        assert!("21a".parse::<Mcc>().is_err());
+        assert_eq!("214".parse::<Mcc>().unwrap().value(), 214);
+    }
+
+    #[test]
+    fn mnc_digit_count_preserved() {
+        let two = Mnc::new2(4).unwrap();
+        let three = Mnc::new3(4).unwrap();
+        assert_eq!(two.to_string(), "04");
+        assert_eq!(three.to_string(), "004");
+        assert_ne!(two, three);
+        assert_eq!("04".parse::<Mnc>().unwrap(), two);
+        assert_eq!("004".parse::<Mnc>().unwrap(), three);
+    }
+
+    #[test]
+    fn plmn_packed_distinguishes_mnc_widths() {
+        let a = Plmn::new(Mcc::new(310).unwrap(), Mnc::new2(5).unwrap());
+        let b = Plmn::new(Mcc::new(310).unwrap(), Mnc::new3(5).unwrap());
+        assert_ne!(a.packed(), b.packed());
+    }
+
+    #[test]
+    fn plmn_display_and_parse_roundtrip() {
+        let p = Plmn::of(214, 7);
+        assert_eq!(p.to_string(), "214-07");
+        assert_eq!("214-07".parse::<Plmn>().unwrap(), p);
+    }
+
+    #[test]
+    fn imsi_roundtrip() {
+        let imsi = Imsi::new(Plmn::of(204, 4), 123_456_789).unwrap();
+        let s = imsi.to_string();
+        assert_eq!(s, "204040123456789");
+        assert_eq!(s.parse::<Imsi>().unwrap(), imsi);
+    }
+
+    #[test]
+    fn imsi_msin_bounds() {
+        assert!(Imsi::new(Plmn::of(214, 7), MSIN_MAX).is_ok());
+        assert!(Imsi::new(Plmn::of(214, 7), MSIN_MAX + 1).is_err());
+    }
+
+    #[test]
+    fn imsi_packed_unique_across_plmn() {
+        let a = Imsi::new(Plmn::of(214, 7), 1).unwrap();
+        let b = Imsi::new(Plmn::of(214, 8), 1).unwrap();
+        assert_ne!(a.packed(), b.packed());
+    }
+
+    #[test]
+    fn imsi_range_membership() {
+        let plmn = Plmn::of(234, 30);
+        let range = ImsiRange::new(plmn, 1_000, 2_000).unwrap();
+        assert_eq!(range.len(), 1_000);
+        assert!(!range.is_empty());
+        assert!(range.contains(Imsi::new(plmn, 1_000).unwrap()));
+        assert!(range.contains(Imsi::new(plmn, 1_999).unwrap()));
+        assert!(!range.contains(Imsi::new(plmn, 2_000).unwrap()));
+        assert!(!range.contains(Imsi::new(Plmn::of(234, 31), 1_500).unwrap()));
+        assert_eq!(range.nth(0).unwrap().msin(), 1_000);
+        assert!(range.nth(1_000).is_none());
+    }
+
+    #[test]
+    fn imei_luhn_check_digit() {
+        // Known vector: IMEI 49015420323751? has check digit 8.
+        let imei: Imei = "490154203237518".parse().unwrap();
+        assert_eq!(imei.tac().to_string(), "49015420");
+        assert_eq!(imei.check_digit(), 8);
+        assert_eq!(imei.to_string(), "490154203237518");
+    }
+
+    #[test]
+    fn imei_rejects_bad_check_digit() {
+        let err = "490154203237519".parse::<Imei>().unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::BadCheckDigit {
+                expected: 8,
+                found: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn tac_display_pads_to_eight() {
+        assert_eq!(Tac::new(1234).unwrap().to_string(), "00001234");
+        assert_eq!("00001234".parse::<Tac>().unwrap().value(), 1234);
+        assert!(Tac::new(100_000_000).is_err());
+    }
+
+    #[test]
+    fn parse_digits_rejects_unicode_and_signs() {
+        assert!("２14".parse::<Mcc>().is_err());
+        assert!("-14".parse::<Mcc>().is_err());
+        assert!("+14".parse::<Mcc>().is_err());
+    }
+}

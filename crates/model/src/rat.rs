@@ -1,0 +1,331 @@
+//! Radio Access Technologies and the paper's per-device `radio-flags`.
+//!
+//! The paper's devices-catalog summarizes each device's radio activity into
+//! "a series of three 1-bit flags which are set to 1 if the device has
+//! successfully communicated with 2G, 3G, 4G sectors respectively" (§4.1).
+//! [`RatSet`] is that bitset, reused both for *capability* (what a device's
+//! radio supports, from the TAC catalog) and *activity* (what it actually
+//! used, from radio logs).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cellular Radio Access Technology generation.
+///
+/// The paper's datasets distinguish 2G (GSM/GPRS), 3G (UMTS) and 4G (LTE).
+/// [`Rat::NbIot`] models the LPWA deployments §8 discusses ("the planned
+/// deployment of NB-IoT coupled with roaming support"): it rides on 4G
+/// infrastructure but is a dedicated carrier that only NB-IoT radios use —
+/// which is exactly why "NB-IoT will enable visited MNOs to easily detect
+/// the inbound roaming IoT devices".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rat {
+    /// GSM / GPRS / EDGE.
+    G2,
+    /// UMTS / HSPA.
+    G3,
+    /// LTE (including LTE-M).
+    G4,
+    /// Narrow-Band IoT (LPWA carrier on the 4G infrastructure).
+    NbIot,
+}
+
+impl Rat {
+    /// All RATs, oldest first (NB-IoT last: it is the newest deployment).
+    pub const ALL: [Rat; 4] = [Rat::G2, Rat::G3, Rat::G4, Rat::NbIot];
+
+    /// Bit position inside a [`RatSet`].
+    const fn bit(self) -> u8 {
+        match self {
+            Rat::G2 => 1 << 0,
+            Rat::G3 => 1 << 1,
+            Rat::G4 => 1 << 2,
+            Rat::NbIot => 1 << 3,
+        }
+    }
+
+    /// Short label used in reports (`2G`, `3G`, `4G`, `NB-IoT`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Rat::G2 => "2G",
+            Rat::G3 => "3G",
+            Rat::G4 => "4G",
+            Rat::NbIot => "NB-IoT",
+        }
+    }
+
+    /// Whether this RAT runs on the LTE/EPC infrastructure (4G and
+    /// NB-IoT) — the slice the M2M platform's probes observe (§3.1).
+    pub const fn is_lte_family(self) -> bool {
+        matches!(self, Rat::G4 | Rat::NbIot)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A set of RATs, stored as a 4-bit bitset.
+///
+/// Used for device radio capability, sector technology support, and the
+/// devices-catalog radio-flags.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RatSet(u8);
+
+impl RatSet {
+    /// The empty set.
+    pub const EMPTY: RatSet = RatSet(0);
+    /// 2G only — where the paper finds 77.4% of M2M devices (§6.1).
+    pub const G2_ONLY: RatSet = RatSet(1);
+    /// 2G + 3G.
+    pub const G2_G3: RatSet = RatSet(0b011);
+    /// The three conventional generations (2G+3G+4G) — what phones and
+    /// general-purpose networks deploy.
+    pub const CONVENTIONAL: RatSet = RatSet(0b0111);
+    /// NB-IoT only (LPWA modules, §8).
+    pub const NBIOT_ONLY: RatSet = RatSet(0b1000);
+    /// Every RAT including NB-IoT.
+    pub const ALL: RatSet = RatSet(0b1111);
+
+    /// Builds a set from an iterator of RATs (also available through the
+    /// standard [`FromIterator`] impl / `collect()`).
+    pub fn of<I: IntoIterator<Item = Rat>>(iter: I) -> Self {
+        let mut s = RatSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Builds a set containing a single RAT.
+    pub const fn only(rat: Rat) -> Self {
+        RatSet(rat.bit())
+    }
+
+    /// Inserts a RAT.
+    pub fn insert(&mut self, rat: Rat) {
+        self.0 |= rat.bit();
+    }
+
+    /// Removes a RAT.
+    pub fn remove(&mut self, rat: Rat) {
+        self.0 &= !rat.bit();
+    }
+
+    /// Whether the set contains `rat`.
+    pub const fn contains(self, rat: Rat) -> bool {
+        self.0 & rat.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of RATs in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set union.
+    pub const fn union(self, other: RatSet) -> RatSet {
+        RatSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub const fn intersection(self, other: RatSet) -> RatSet {
+        RatSet(self.0 & other.0)
+    }
+
+    /// Whether `self` contains every RAT in `other`.
+    pub const fn is_superset_of(self, other: RatSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterates over RATs present in the set, oldest first.
+    pub fn iter(self) -> impl Iterator<Item = Rat> {
+        Rat::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// The most advanced RAT in the set, if any.
+    pub fn best(self) -> Option<Rat> {
+        Rat::ALL.into_iter().rev().find(|r| self.contains(*r))
+    }
+
+    /// The RAT-usage *category* the paper buckets devices into for Fig. 9:
+    /// exactly which combination of generations was used.
+    pub fn category_label(self) -> &'static str {
+        match self.0 & 0b1111 {
+            0b0000 => "none",
+            0b0001 => "2G only",
+            0b0010 => "3G only",
+            0b0100 => "4G only",
+            0b0011 => "2G+3G",
+            0b0101 => "2G+4G",
+            0b0110 => "3G+4G",
+            0b0111 => "2G+3G+4G",
+            0b1000 => "NB-IoT only",
+            0b1001 => "2G+NB-IoT",
+            0b1010 => "3G+NB-IoT",
+            0b1100 => "4G+NB-IoT",
+            0b1011 => "2G+3G+NB-IoT",
+            0b1101 => "2G+4G+NB-IoT",
+            0b1110 => "3G+4G+NB-IoT",
+            0b1111 => "2G+3G+4G+NB-IoT",
+            _ => unreachable!("masked to 4 bits"),
+        }
+    }
+}
+
+impl fmt::Display for RatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.category_label())
+    }
+}
+
+impl FromIterator<Rat> for RatSet {
+    fn from_iter<T: IntoIterator<Item = Rat>>(iter: T) -> Self {
+        RatSet::of(iter)
+    }
+}
+
+/// Per-device radio activity flags, split by service plane.
+///
+/// The devices-catalog tracks which RATs a device *successfully* used,
+/// separately for any activity, data-plane activity, and voice-plane
+/// activity — the three views plotted in Fig. 9 (left / center / right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RadioFlags {
+    /// RATs with at least one successful event of any kind.
+    pub any: RatSet,
+    /// RATs with at least one data-plane record (xDR).
+    pub data: RatSet,
+    /// RATs with at least one voice-plane record (CDR). The paper uses
+    /// "voice" broadly: M2M devices do not place calls but may use
+    /// SMS-like circuit-switched services (§6.1, footnote 4).
+    pub voice: RatSet,
+}
+
+impl RadioFlags {
+    /// Merges another set of flags into this one (daily accumulation).
+    pub fn merge(&mut self, other: RadioFlags) {
+        self.any = self.any.union(other.any);
+        self.data = self.data.union(other.data);
+        self.voice = self.voice.union(other.voice);
+    }
+
+    /// Records a successful event on `rat`, optionally on the data and/or
+    /// voice planes.
+    pub fn record(&mut self, rat: Rat, data: bool, voice: bool) {
+        self.any.insert(rat);
+        if data {
+            self.data.insert(rat);
+        }
+        if voice {
+            self.voice.insert(rat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = RatSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Rat::G2);
+        s.insert(Rat::G4);
+        assert!(s.contains(Rat::G2));
+        assert!(!s.contains(Rat::G3));
+        assert!(s.contains(Rat::G4));
+        assert_eq!(s.len(), 2);
+        s.remove(Rat::G2);
+        assert!(!s.contains(Rat::G2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn best_prefers_newest_generation() {
+        assert_eq!(RatSet::G2_ONLY.best(), Some(Rat::G2));
+        assert_eq!(RatSet::G2_G3.best(), Some(Rat::G3));
+        assert_eq!(RatSet::CONVENTIONAL.best(), Some(Rat::G4));
+        assert_eq!(RatSet::EMPTY.best(), None);
+    }
+
+    #[test]
+    fn category_labels_cover_all_combinations() {
+        let mut labels = std::collections::HashSet::new();
+        for bits in 0..16u8 {
+            let mut s = RatSet::EMPTY;
+            for r in Rat::ALL {
+                if bits & r.bit() != 0 {
+                    s.insert(r);
+                }
+            }
+            labels.insert(s.category_label());
+        }
+        assert_eq!(labels.len(), 16);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RatSet::of([Rat::G2, Rat::G3]);
+        let b = RatSet::of([Rat::G3, Rat::G4]);
+        assert_eq!(a.union(b), RatSet::CONVENTIONAL);
+        assert_eq!(a.intersection(b), RatSet::only(Rat::G3));
+        assert!(RatSet::CONVENTIONAL.is_superset_of(a));
+        assert!(!a.is_superset_of(b));
+    }
+
+    #[test]
+    fn iter_returns_oldest_first() {
+        let s = RatSet::CONVENTIONAL;
+        let v: Vec<Rat> = s.iter().collect();
+        assert_eq!(v, vec![Rat::G2, Rat::G3, Rat::G4]);
+        let v: Vec<Rat> = RatSet::ALL.iter().collect();
+        assert_eq!(v, vec![Rat::G2, Rat::G3, Rat::G4, Rat::NbIot]);
+    }
+
+    #[test]
+    fn nbiot_is_lte_family_and_detectable() {
+        assert!(Rat::NbIot.is_lte_family());
+        assert!(Rat::G4.is_lte_family());
+        assert!(!Rat::G2.is_lte_family());
+        assert!(!Rat::G3.is_lte_family());
+        assert_eq!(RatSet::NBIOT_ONLY.category_label(), "NB-IoT only");
+        assert_eq!(RatSet::ALL.best(), Some(Rat::NbIot));
+        assert_eq!(RatSet::CONVENTIONAL.best(), Some(Rat::G4));
+        assert!(!RatSet::CONVENTIONAL.contains(Rat::NbIot));
+    }
+
+    #[test]
+    fn radio_flags_record_and_merge() {
+        let mut f = RadioFlags::default();
+        f.record(Rat::G2, true, false);
+        assert!(f.any.contains(Rat::G2));
+        assert!(f.data.contains(Rat::G2));
+        assert!(!f.voice.contains(Rat::G2));
+
+        let mut g = RadioFlags::default();
+        g.record(Rat::G3, false, true);
+        f.merge(g);
+        assert!(f.any.contains(Rat::G3));
+        assert!(f.voice.contains(Rat::G3));
+        assert!(!f.data.contains(Rat::G3));
+    }
+
+    #[test]
+    fn serde_is_compact() {
+        let s = RatSet::G2_G3;
+        assert_eq!(serde_json::to_string(&s).unwrap(), "3");
+        let back: RatSet = serde_json::from_str("3").unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,365 @@
+//! GSMA-like TAC device catalog.
+//!
+//! The paper joins radio records against "a commercial database provided by
+//! GSMA" that "maps the device TAC to a set of device properties such as
+//! device manufacturer, brand and model name, operating system, and radio
+//! bands supported" (§4.1). This module is that catalog: a map from
+//! [`Tac`] to [`TacInfo`].
+//!
+//! Two observations from the paper shape the synthetic catalog:
+//!
+//! * classification cannot lean on the GSMA class alone, because non-phones
+//!   "are mostly marked as *modem* or *module*, which might not necessarily
+//!   imply an M2M/IoT application" (§4.3);
+//! * M2M module vendors are concentrated: "Gemalto, Telit, and Sierra
+//!   Wireless are among the top device vendors with a combined 75% of all
+//!   inroaming devices" (§4.3), and every SMIP-roaming meter maps to
+//!   "only two manufacturers, namely Gemalto and Telit" (§4.4).
+
+use crate::ids::Tac;
+use crate::rat::RatSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The marketing class the GSMA catalog assigns a device.
+///
+/// Deliberately coarse — the whole point of §4.3 is that this field alone
+/// cannot identify M2M applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GsmaClass {
+    /// Touchscreen smartphone.
+    Smartphone,
+    /// Voice-centric feature phone.
+    FeaturePhone,
+    /// Embeddable radio module (most IoT devices, but also e-readers etc.).
+    Module,
+    /// Standalone modem / router.
+    Modem,
+    /// Wrist or body-worn device.
+    Wearable,
+    /// Tablet.
+    Tablet,
+    /// USB dongle.
+    Dongle,
+}
+
+impl fmt::Display for GsmaClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GsmaClass::Smartphone => "Smartphone",
+            GsmaClass::FeaturePhone => "Feature phone",
+            GsmaClass::Module => "Module",
+            GsmaClass::Modem => "Modem",
+            GsmaClass::Wearable => "Wearable",
+            GsmaClass::Tablet => "Tablet",
+            GsmaClass::Dongle => "Dongle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operating system recorded in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceOs {
+    /// Android.
+    Android,
+    /// Apple iOS.
+    Ios,
+    /// BlackBerry OS.
+    Blackberry,
+    /// Windows Mobile.
+    WindowsMobile,
+    /// Vendor-proprietary feature-phone firmware.
+    Proprietary,
+    /// Embedded RTOS (typical for modules).
+    Rtos,
+    /// Not recorded.
+    Unknown,
+}
+
+impl DeviceOs {
+    /// Whether this is one of the "major smartphone OS" values the paper's
+    /// classifier checks for ("android, iOS, blackberry, windows mobile",
+    /// §4.3).
+    pub const fn is_major_smartphone_os(self) -> bool {
+        matches!(
+            self,
+            DeviceOs::Android | DeviceOs::Ios | DeviceOs::Blackberry | DeviceOs::WindowsMobile
+        )
+    }
+}
+
+/// Catalog entry for one TAC.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TacInfo {
+    /// The allocation code.
+    pub tac: Tac,
+    /// Manufacturer name.
+    pub vendor: String,
+    /// Marketing brand.
+    pub brand: String,
+    /// Model name.
+    pub model: String,
+    /// Operating system.
+    pub os: DeviceOs,
+    /// Radio generations the hardware supports.
+    pub rats: RatSet,
+    /// GSMA marketing class.
+    pub gsma_class: GsmaClass,
+}
+
+/// Vendors the paper names as dominating the M2M module market.
+pub const M2M_MODULE_VENDORS: &[&str] = &["Gemalto", "Telit", "Sierra Wireless"];
+
+/// Additional long-tail M2M vendors (synthetic).
+pub const M2M_TAIL_VENDORS: &[&str] = &["Quectel", "u-blox", "SimWave", "Cinterion Labs"];
+
+/// Synthetic smartphone vendors (the real GSMA catalog has thousands; names
+/// here are fictional since phone identity is irrelevant to the paper).
+pub const PHONE_VENDORS: &[&str] = &["Pearfone", "Starlight", "Nordic Devices", "Kyushu Mobile"];
+
+/// Synthetic feature-phone vendors.
+pub const FEATURE_VENDORS: &[&str] = &["Classique", "Vega Telecom"];
+
+/// The TAC → properties catalog.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TacDatabase {
+    entries: HashMap<u32, TacInfo>,
+}
+
+impl TacDatabase {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an entry, replacing any previous allocation of the TAC.
+    pub fn insert(&mut self, info: TacInfo) {
+        self.entries.insert(info.tac.value(), info);
+    }
+
+    /// Looks up a TAC.
+    pub fn get(&self, tac: Tac) -> Option<&TacInfo> {
+        self.entries.get(&tac.value())
+    }
+
+    /// Number of allocations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &TacInfo> {
+        self.entries.values()
+    }
+
+    /// All TACs allocated to `vendor`.
+    pub fn tacs_of_vendor<'a>(&'a self, vendor: &'a str) -> impl Iterator<Item = Tac> + 'a {
+        self.entries
+            .values()
+            .filter(move |e| e.vendor == vendor)
+            .map(|e| e.tac)
+    }
+
+    /// Builds the standard synthetic catalog used by the scenarios.
+    ///
+    /// TAC space layout (all under the 35xxxxxx Reporting-Body range):
+    ///
+    /// * `350VVMMM` — M2M modules, vendor `VV`, model `MMM`;
+    /// * `351VVMMM` — smartphones;
+    /// * `352VVMMM` — feature phones;
+    /// * `353VVMMM` — wearables.
+    ///
+    /// Each M2M vendor gets 2G-only, 2G+3G and 4G-capable module lines so
+    /// behaviour models can pick hardware matching the paper's RAT mix
+    /// (77.4% of M2M devices 2G-only, §6.1).
+    pub fn standard() -> Self {
+        let mut db = TacDatabase::new();
+        for (m2m_vendor_idx, &vendor) in M2M_MODULE_VENDORS
+            .iter()
+            .chain(M2M_TAIL_VENDORS)
+            .enumerate()
+        {
+            let m2m_vendor_idx = m2m_vendor_idx as u32;
+            for (model_idx, (suffix, rats, os)) in [
+                ("G2", RatSet::G2_ONLY, DeviceOs::Rtos),
+                ("G23", RatSet::G2_G3, DeviceOs::Rtos),
+                ("LTE", RatSet::CONVENTIONAL, DeviceOs::Rtos),
+                // LPWA line (§8): a radio that can *only* attach to the
+                // dedicated NB-IoT carrier.
+                ("NB1", RatSet::NBIOT_ONLY, DeviceOs::Rtos),
+            ]
+            .iter()
+            .enumerate()
+            {
+                // First line and the NB-IoT line are embeddable modules;
+                // the mid-range lines are marketed as modems.
+                let class = match model_idx {
+                    0 | 3 => GsmaClass::Module,
+                    _ => GsmaClass::Modem,
+                };
+                db.insert(TacInfo {
+                    tac: Tac::new(35_000_000 + m2m_vendor_idx * 10_000 + model_idx as u32)
+                        .expect("fits 8 digits"),
+                    vendor: vendor.to_owned(),
+                    brand: vendor.to_owned(),
+                    model: format!("{vendor}-{suffix}"),
+                    os: *os,
+                    rats: *rats,
+                    gsma_class: class,
+                });
+            }
+        }
+        for (v, &vendor) in PHONE_VENDORS.iter().enumerate() {
+            for model_idx in 0..6u32 {
+                // Older models are 2G+3G, newer ones 2G+3G+4G.
+                let rats = if model_idx < 2 {
+                    RatSet::G2_G3
+                } else {
+                    RatSet::CONVENTIONAL
+                };
+                let os = match model_idx % 4 {
+                    0..=2 => DeviceOs::Android,
+                    _ => DeviceOs::Ios,
+                };
+                db.insert(TacInfo {
+                    tac: Tac::new(35_100_000 + v as u32 * 10_000 + model_idx)
+                        .expect("fits 8 digits"),
+                    vendor: vendor.to_owned(),
+                    brand: vendor.to_owned(),
+                    model: format!("{vendor}-S{model_idx}"),
+                    os,
+                    rats,
+                    gsma_class: GsmaClass::Smartphone,
+                });
+            }
+        }
+        for (v, &vendor) in FEATURE_VENDORS.iter().enumerate() {
+            for model_idx in 0..4u32 {
+                let rats = if model_idx < 2 {
+                    RatSet::G2_ONLY
+                } else {
+                    RatSet::G2_G3
+                };
+                db.insert(TacInfo {
+                    tac: Tac::new(35_200_000 + v as u32 * 10_000 + model_idx)
+                        .expect("fits 8 digits"),
+                    vendor: vendor.to_owned(),
+                    brand: vendor.to_owned(),
+                    model: format!("{vendor}-F{model_idx}"),
+                    os: DeviceOs::Proprietary,
+                    rats,
+                    gsma_class: GsmaClass::FeaturePhone,
+                });
+            }
+        }
+        // Wearables: modules marketed as wearables, a vertical studied in
+        // prior work the paper cites [10].
+        for model_idx in 0..3u32 {
+            db.insert(TacInfo {
+                tac: Tac::new(35_300_000 + model_idx).expect("fits 8 digits"),
+                vendor: "Pearfone".to_owned(),
+                brand: "Pearfone".to_owned(),
+                model: format!("Pearfone-W{model_idx}"),
+                os: DeviceOs::Rtos,
+                rats: RatSet::CONVENTIONAL,
+                gsma_class: GsmaClass::Wearable,
+            });
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+
+    #[test]
+    fn standard_catalog_has_paper_vendors() {
+        let db = TacDatabase::standard();
+        for vendor in M2M_MODULE_VENDORS {
+            assert!(
+                db.tacs_of_vendor(vendor).count() >= 3,
+                "{vendor} underallocated"
+            );
+        }
+    }
+
+    #[test]
+    fn m2m_modules_include_2g_only_hardware() {
+        let db = TacDatabase::standard();
+        // SMIP-roaming meters are all 2G-only Gemalto/Telit hardware (§7.1).
+        for vendor in ["Gemalto", "Telit"] {
+            let has_2g_only = db
+                .iter()
+                .any(|e| e.vendor == vendor && e.rats == RatSet::G2_ONLY);
+            assert!(has_2g_only, "{vendor} has no 2G-only module");
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let db = TacDatabase::standard();
+        let some_tac = db.iter().next().unwrap().tac;
+        assert_eq!(db.get(some_tac).unwrap().tac, some_tac);
+        assert!(db.get(Tac::new(99_999_999).unwrap()).is_none());
+    }
+
+    #[test]
+    fn module_class_does_not_reveal_vertical() {
+        // The catalog must never carry an "is M2M application" bit — only
+        // Module/Modem marketing classes (the paper's point in §4.3).
+        let db = TacDatabase::standard();
+        let module_vendors: std::collections::HashSet<_> = db
+            .iter()
+            .filter(|e| matches!(e.gsma_class, GsmaClass::Module | GsmaClass::Modem))
+            .map(|e| e.vendor.clone())
+            .collect();
+        assert!(module_vendors.len() >= M2M_MODULE_VENDORS.len());
+    }
+
+    #[test]
+    fn major_os_predicate() {
+        assert!(DeviceOs::Android.is_major_smartphone_os());
+        assert!(DeviceOs::Ios.is_major_smartphone_os());
+        assert!(DeviceOs::Blackberry.is_major_smartphone_os());
+        assert!(DeviceOs::WindowsMobile.is_major_smartphone_os());
+        assert!(!DeviceOs::Rtos.is_major_smartphone_os());
+        assert!(!DeviceOs::Proprietary.is_major_smartphone_os());
+    }
+
+    #[test]
+    fn smartphone_hardware_is_3g_or_better() {
+        let db = TacDatabase::standard();
+        for e in db.iter().filter(|e| e.gsma_class == GsmaClass::Smartphone) {
+            assert!(e.rats.contains(Rat::G3), "{} lacks 3G", e.model);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let db = TacDatabase::standard();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: TacDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), db.len());
+    }
+
+    #[test]
+    fn tacs_unique_across_catalog() {
+        let db = TacDatabase::standard();
+        // HashMap keys are unique by construction; verify the generator did
+        // not silently overwrite an allocation.
+        let expected = (M2M_MODULE_VENDORS.len() + M2M_TAIL_VENDORS.len()) * 4
+            + PHONE_VENDORS.len() * 6
+            + FEATURE_VENDORS.len() * 4
+            + 3;
+        assert_eq!(db.len(), expected);
+    }
+}

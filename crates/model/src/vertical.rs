@@ -1,0 +1,101 @@
+//! Ground-truth device verticals.
+//!
+//! The scenario generator assigns every simulated device a *vertical* — what
+//! the device actually is. This is the hidden label the paper's authors did
+//! **not** have: their classifier output could only be validated manually.
+//! Our classifier (in `wtr-core`) never sees this value; it is used solely
+//! by the validation module to compute precision/recall, and by behaviour
+//! models to drive realistic traffic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a device actually is (generator ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Vertical {
+    /// Personal smartphone (major OS, consumer APN, diurnal human traffic).
+    Smartphone,
+    /// Personal feature phone (voice/SMS-centric, mostly 2G).
+    FeaturePhone,
+    /// Smart energy meter (stationary, periodic tiny reports; §7).
+    SmartMeter,
+    /// Connected car (high mobility, frequent signaling, real data; §7.2).
+    ConnectedCar,
+    /// Logistics asset tracker (mobile, bursty location reports).
+    AssetTracker,
+    /// SIM-enabled wearable (low traffic, person-adjacent mobility).
+    Wearable,
+    /// Payment terminal (stationary, reliability-driven, multi-network).
+    PaymentTerminal,
+    /// Security/alarm endpoint (voice-like signalling, near-zero data —
+    /// the paper conjectures these explain non-null M2M voice calls, §6.2).
+    SecurityAlarm,
+    /// Generic industrial telemetry module.
+    IndustrialSensor,
+}
+
+impl Vertical {
+    /// All verticals.
+    pub const ALL: [Vertical; 9] = [
+        Vertical::Smartphone,
+        Vertical::FeaturePhone,
+        Vertical::SmartMeter,
+        Vertical::ConnectedCar,
+        Vertical::AssetTracker,
+        Vertical::Wearable,
+        Vertical::PaymentTerminal,
+        Vertical::SecurityAlarm,
+        Vertical::IndustrialSensor,
+    ];
+
+    /// Whether this vertical is an IoT/M2M application (vs. a person's
+    /// phone). This is the ground-truth notion of "m2m" the classifier's
+    /// `m2m` output class is validated against.
+    pub const fn is_m2m(self) -> bool {
+        !matches!(self, Vertical::Smartphone | Vertical::FeaturePhone)
+    }
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Vertical::Smartphone => "smartphone",
+            Vertical::FeaturePhone => "feature-phone",
+            Vertical::SmartMeter => "smart-meter",
+            Vertical::ConnectedCar => "connected-car",
+            Vertical::AssetTracker => "asset-tracker",
+            Vertical::Wearable => "wearable",
+            Vertical::PaymentTerminal => "payment-terminal",
+            Vertical::SecurityAlarm => "security-alarm",
+            Vertical::IndustrialSensor => "industrial-sensor",
+        }
+    }
+}
+
+impl fmt::Display for Vertical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2m_partition() {
+        let m2m: Vec<_> = Vertical::ALL.iter().filter(|v| v.is_m2m()).collect();
+        assert_eq!(m2m.len(), 7);
+        assert!(!Vertical::Smartphone.is_m2m());
+        assert!(!Vertical::FeaturePhone.is_m2m());
+        assert!(Vertical::SmartMeter.is_m2m());
+        assert!(Vertical::ConnectedCar.is_m2m());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for v in Vertical::ALL {
+            assert!(seen.insert(v.label()));
+        }
+    }
+}

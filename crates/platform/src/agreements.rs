@@ -1,0 +1,198 @@
+//! The roaming-agreement graph: who may roam where, and through what.
+//!
+//! Two mechanisms grant access (§2.1): **bilateral agreements** between two
+//! operators, and **hub connectivity** (both operators reach a common hub,
+//! directly or through one hub-to-hub peering). The graph answers, for a
+//! (home, visited) pair, whether roaming is possible and through which
+//! path — the paper notes bilateral and hub models coexist and complement
+//! each other.
+
+use crate::hub::{HubId, IpxHub};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use wtr_model::ids::Plmn;
+
+/// How a (home, visited) pair is connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgreementPath {
+    /// Direct bilateral agreement.
+    Bilateral,
+    /// Both operators are members of the same hub.
+    SameHub(HubId),
+    /// Operators reach each other across one hub peering.
+    PeeredHubs(HubId, HubId),
+}
+
+/// The full agreement graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AgreementGraph {
+    bilateral: HashSet<(u32, u32)>,
+    hubs: Vec<IpxHub>,
+    memberships: HashMap<u32, Vec<HubId>>,
+}
+
+impl AgreementGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a (symmetric) bilateral agreement.
+    pub fn add_bilateral(&mut self, a: Plmn, b: Plmn) {
+        let (ka, kb) = (a.packed(), b.packed());
+        self.bilateral.insert((ka.min(kb), ka.max(kb)));
+    }
+
+    /// Whether a direct bilateral agreement exists.
+    pub fn has_bilateral(&self, a: Plmn, b: Plmn) -> bool {
+        let (ka, kb) = (a.packed(), b.packed());
+        self.bilateral.contains(&(ka.min(kb), ka.max(kb)))
+    }
+
+    /// Creates a hub and returns its id.
+    pub fn add_hub(&mut self, name: impl Into<String>) -> HubId {
+        let id = HubId(self.hubs.len() as u32);
+        self.hubs.push(IpxHub::new(id, name));
+        id
+    }
+
+    /// Adds an operator to a hub.
+    pub fn join_hub(&mut self, hub: HubId, plmn: Plmn) {
+        self.hubs[hub.0 as usize].add_member(plmn);
+        self.memberships.entry(plmn.packed()).or_default().push(hub);
+    }
+
+    /// Peers two hubs (symmetric).
+    pub fn peer_hubs(&mut self, a: HubId, b: HubId) {
+        if a == b {
+            return;
+        }
+        self.hubs[a.0 as usize].add_peer(b);
+        self.hubs[b.0 as usize].add_peer(a);
+    }
+
+    /// Hub object by id.
+    pub fn hub(&self, id: HubId) -> &IpxHub {
+        &self.hubs[id.0 as usize]
+    }
+
+    /// Number of hubs.
+    pub fn hub_count(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// Hubs `plmn` belongs to.
+    pub fn hubs_of(&self, plmn: Plmn) -> &[HubId] {
+        self.memberships
+            .get(&plmn.packed())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Finds a connectivity path between `home` and `visited`, preferring
+    /// bilateral > same-hub > peered-hubs (cheapest commercial path first).
+    pub fn path(&self, home: Plmn, visited: Plmn) -> Option<AgreementPath> {
+        if home == visited {
+            // Native attachment needs no roaming agreement; callers treat
+            // this case before consulting the graph, but answer anyway.
+            return Some(AgreementPath::Bilateral);
+        }
+        if self.has_bilateral(home, visited) {
+            return Some(AgreementPath::Bilateral);
+        }
+        let home_hubs = self.hubs_of(home);
+        let visited_hubs = self.hubs_of(visited);
+        for h in home_hubs {
+            if visited_hubs.contains(h) {
+                return Some(AgreementPath::SameHub(*h));
+            }
+        }
+        for h in home_hubs {
+            for v in visited_hubs {
+                if self.hub(*h).peers_with(*v) {
+                    return Some(AgreementPath::PeeredHubs(*h, *v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether any path exists.
+    pub fn connected(&self, home: Plmn, visited: Plmn) -> bool {
+        self.path(home, visited).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ES: Plmn = Plmn::of(214, 7);
+    const UK: Plmn = Plmn::of(234, 30);
+    const DE: Plmn = Plmn::of(262, 2);
+    const AU: Plmn = Plmn::of(505, 1);
+
+    #[test]
+    fn bilateral_is_symmetric() {
+        let mut g = AgreementGraph::new();
+        g.add_bilateral(ES, UK);
+        assert!(g.has_bilateral(ES, UK));
+        assert!(g.has_bilateral(UK, ES));
+        assert_eq!(g.path(UK, ES), Some(AgreementPath::Bilateral));
+        assert!(!g.has_bilateral(ES, DE));
+    }
+
+    #[test]
+    fn same_hub_connects() {
+        let mut g = AgreementGraph::new();
+        let hub = g.add_hub("GlobalConnect");
+        g.join_hub(hub, ES);
+        g.join_hub(hub, DE);
+        assert_eq!(g.path(ES, DE), Some(AgreementPath::SameHub(hub)));
+        assert!(!g.connected(ES, AU));
+    }
+
+    #[test]
+    fn peered_hubs_connect_one_level() {
+        let mut g = AgreementGraph::new();
+        let h1 = g.add_hub("EuroHub");
+        let h2 = g.add_hub("PacificHub");
+        let h3 = g.add_hub("IsolatedHub");
+        g.join_hub(h1, ES);
+        g.join_hub(h2, AU);
+        g.join_hub(h3, DE);
+        g.peer_hubs(h1, h2);
+        assert_eq!(g.path(ES, AU), Some(AgreementPath::PeeredHubs(h1, h2)));
+        // h3 peers with nobody: DE unreachable from either.
+        assert!(!g.connected(ES, DE));
+        assert!(!g.connected(AU, DE));
+    }
+
+    #[test]
+    fn bilateral_preferred_over_hub() {
+        let mut g = AgreementGraph::new();
+        let hub = g.add_hub("Hub");
+        g.join_hub(hub, ES);
+        g.join_hub(hub, UK);
+        g.add_bilateral(ES, UK);
+        assert_eq!(g.path(ES, UK), Some(AgreementPath::Bilateral));
+    }
+
+    #[test]
+    fn self_path_always_exists() {
+        let g = AgreementGraph::new();
+        assert!(g.connected(ES, ES));
+    }
+
+    #[test]
+    fn hub_membership_listing() {
+        let mut g = AgreementGraph::new();
+        let h1 = g.add_hub("A");
+        let h2 = g.add_hub("B");
+        g.join_hub(h1, ES);
+        g.join_hub(h2, ES);
+        assert_eq!(g.hubs_of(ES), &[h1, h2]);
+        assert!(g.hubs_of(AU).is_empty());
+        assert_eq!(g.hub_count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! IPX / roaming hubs.
+//!
+//! "Operators connect to a hubbing solution provider to gain access to many
+//! roaming partners, externalizing the roaming interworking establishment
+//! to the roaming hub provider. Hubs are then interconnected to further
+//! expand potential operator relationships." (§2.1)
+//!
+//! A hub is a membership set; two operators are hub-connected when they are
+//! members of the same hub or of two *peered* hubs (one peering level, as
+//! in practice — hub peering is not transitive here).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use wtr_model::ids::Plmn;
+
+/// Identifier of a hub within an agreement graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct HubId(pub u32);
+
+/// One roaming hub / IPX provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpxHub {
+    /// Hub id.
+    pub id: HubId,
+    /// Display name (synthetic; the paper mentions Syniverse/BICS as
+    /// real-world examples).
+    pub name: String,
+    /// Operator members.
+    members: HashSet<u32>,
+    /// Peered hubs (symmetric peering is the caller's responsibility;
+    /// [`crate::agreements::AgreementGraph`] enforces it).
+    peers: HashSet<HubId>,
+}
+
+impl IpxHub {
+    /// Creates an empty hub.
+    pub fn new(id: HubId, name: impl Into<String>) -> Self {
+        IpxHub {
+            id,
+            name: name.into(),
+            members: HashSet::new(),
+            peers: HashSet::new(),
+        }
+    }
+
+    /// Adds an operator to the hub.
+    pub fn add_member(&mut self, plmn: Plmn) {
+        self.members.insert(plmn.packed());
+    }
+
+    /// Whether `plmn` is a member.
+    pub fn is_member(&self, plmn: Plmn) -> bool {
+        self.members.contains(&plmn.packed())
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Records a peering with another hub.
+    pub fn add_peer(&mut self, other: HubId) {
+        if other != self.id {
+            self.peers.insert(other);
+        }
+    }
+
+    /// Whether this hub peers with `other`.
+    pub fn peers_with(&self, other: HubId) -> bool {
+        self.peers.contains(&other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let mut hub = IpxHub::new(HubId(0), "GlobalConnect IPX");
+        let a = Plmn::of(214, 7);
+        let b = Plmn::of(234, 30);
+        hub.add_member(a);
+        assert!(hub.is_member(a));
+        assert!(!hub.is_member(b));
+        assert_eq!(hub.member_count(), 1);
+        hub.add_member(a);
+        assert_eq!(hub.member_count(), 1, "idempotent");
+    }
+
+    #[test]
+    fn peering_is_not_reflexive() {
+        let mut hub = IpxHub::new(HubId(3), "A");
+        hub.add_peer(HubId(3));
+        assert!(!hub.peers_with(HubId(3)), "self-peering must be ignored");
+        hub.add_peer(HubId(4));
+        assert!(hub.peers_with(HubId(4)));
+        assert!(!hub.peers_with(HubId(5)));
+    }
+}

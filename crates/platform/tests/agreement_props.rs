@@ -1,0 +1,68 @@
+//! Property tests over the roaming agreement graph and steering policy.
+
+use proptest::prelude::*;
+use wtr_model::ids::{Mcc, Mnc, Plmn};
+use wtr_platform::agreements::AgreementGraph;
+use wtr_platform::policy::PlatformPolicy;
+use wtr_sim::world::AccessPolicy;
+
+fn arb_plmn() -> impl Strategy<Value = Plmn> {
+    (200u16..=799, 0u16..=99)
+        .prop_map(|(mcc, mnc)| Plmn::new(Mcc::new(mcc).unwrap(), Mnc::new2(mnc).unwrap()))
+}
+
+proptest! {
+    #[test]
+    fn bilateral_agreements_are_symmetric(pairs in prop::collection::vec((arb_plmn(), arb_plmn()), 0..20)) {
+        let mut g = AgreementGraph::new();
+        for (a, b) in &pairs {
+            g.add_bilateral(*a, *b);
+        }
+        for (a, b) in &pairs {
+            prop_assert!(g.has_bilateral(*a, *b));
+            prop_assert!(g.has_bilateral(*b, *a));
+            prop_assert!(g.connected(*a, *b));
+        }
+    }
+
+    #[test]
+    fn hub_membership_connects_all_members(members in prop::collection::vec(arb_plmn(), 2..12)) {
+        let mut g = AgreementGraph::new();
+        let hub = g.add_hub("H");
+        for m in &members {
+            g.join_hub(hub, *m);
+        }
+        for a in &members {
+            for b in &members {
+                prop_assert!(g.connected(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_self_allowing(a in arb_plmn(), b in arb_plmn()) {
+        let policy = PlatformPolicy::new(AgreementGraph::new());
+        prop_assert!(policy.decide(a, a).is_allowed());
+        prop_assert_eq!(policy.decide(a, b), policy.decide(a, b));
+    }
+
+    #[test]
+    fn steering_is_a_permutation(
+        candidates in prop::collection::vec(arb_plmn(), 1..10),
+        ranks in prop::collection::vec(0u32..5, 1..10),
+        home in arb_plmn()
+    ) {
+        let mut policy = PlatformPolicy::new(AgreementGraph::new());
+        for (c, r) in candidates.iter().zip(&ranks) {
+            policy.set_rank(home, *c, *r);
+        }
+        let mut ordered = candidates.clone();
+        policy.preference_order(home, &mut ordered);
+        // Same multiset, no loss or duplication.
+        let mut a = candidates.clone();
+        let mut b = ordered.clone();
+        a.sort_by_key(|p| p.packed());
+        b.sort_by_key(|p| p.packed());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,385 @@
+//! The daily devices-catalog (§4.1).
+//!
+//! "We combine the three data sources to create a daily list of active
+//! devices and associated properties and traffic characteristics … Each
+//! record in the generated catalog reports a device ID, total number of
+//! events, calls, bytes seen, SIM MCC/MNC, list of visited MCC-MNC, list
+//! of APN strings … We further summarize the radio activity into
+//! radio-flags … Finally, we compute mobility metrics for each device."
+//!
+//! A [`CatalogEntry`] is one (device, day) row. Mobility is accumulated
+//! incrementally (weighted sums of sector coordinates and their squares),
+//! so the catalog never stores per-sector dwell lists: centroid and radius
+//! of gyration come out of O(1) state per row, using the local-tangent-
+//! plane approximation that is standard for intra-country gyration.
+//! Weights are event counts — a documented approximation of the paper's
+//! time-spent-per-sector weighting (DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use wtr_model::ids::{Plmn, Tac};
+use wtr_model::rat::RadioFlags;
+use wtr_model::roaming::RoamingLabel;
+use wtr_model::time::Day;
+use wtr_radio::geo::GeoPoint;
+
+/// Kilometres per degree of latitude (and of longitude at the equator).
+const KM_PER_DEG: f64 = 111.195;
+
+/// Incremental mobility accumulator: weighted first and second moments of
+/// the sector coordinates a device used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MobilityAccum {
+    w: f64,
+    lat_w: f64,
+    lon_w: f64,
+    lat2_w: f64,
+    lon2_w: f64,
+}
+
+impl MobilityAccum {
+    /// Adds one observation at `p` with weight `weight`.
+    pub fn add(&mut self, p: GeoPoint, weight: f64) {
+        self.w += weight;
+        self.lat_w += p.lat * weight;
+        self.lon_w += p.lon * weight;
+        self.lat2_w += p.lat * p.lat * weight;
+        self.lon2_w += p.lon * p.lon * weight;
+    }
+
+    /// Merges another accumulator (multi-day aggregation).
+    pub fn merge(&mut self, other: &MobilityAccum) {
+        self.w += other.w;
+        self.lat_w += other.lat_w;
+        self.lon_w += other.lon_w;
+        self.lat2_w += other.lat2_w;
+        self.lon2_w += other.lon2_w;
+    }
+
+    /// Total weight.
+    pub fn weight(&self) -> f64 {
+        self.w
+    }
+
+    /// Weighted centroid, if any weight has been accumulated.
+    pub fn centroid(&self) -> Option<GeoPoint> {
+        if self.w <= 0.0 {
+            return None;
+        }
+        Some(GeoPoint::new(self.lat_w / self.w, self.lon_w / self.w))
+    }
+
+    /// Radius of gyration in kilometres (local-tangent-plane).
+    pub fn gyration_km(&self) -> Option<f64> {
+        let c = self.centroid()?;
+        let var_lat = (self.lat2_w / self.w - c.lat * c.lat).max(0.0);
+        let var_lon = (self.lon2_w / self.w - c.lon * c.lon).max(0.0);
+        let klat = KM_PER_DEG;
+        let klon = KM_PER_DEG * c.lat.to_radians().cos();
+        Some((var_lat * klat * klat + var_lon * klon * klon).sqrt())
+    }
+}
+
+/// One (device, day) row of the devices-catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Anonymized device ID.
+    pub user: u64,
+    /// Day of the row.
+    pub day: Day,
+    /// SIM home PLMN.
+    pub sim_plmn: Plmn,
+    /// Device TAC (joinable against the GSMA-like catalog).
+    pub tac: Tac,
+    /// Roaming label of the day (§4.2).
+    pub label: RoamingLabel,
+    /// Total radio events.
+    pub events: u64,
+    /// Radio events with a failure result.
+    pub failed_events: u64,
+    /// Voice calls.
+    pub calls: u64,
+    /// SMS-like transactions.
+    pub sms: u64,
+    /// Total call seconds.
+    pub call_secs: u64,
+    /// Data sessions.
+    pub data_sessions: u64,
+    /// Uplink bytes.
+    pub bytes_up: u64,
+    /// Downlink bytes.
+    pub bytes_down: u64,
+    /// Visited PLMNs seen this day (packed keys, sorted).
+    pub visited: BTreeSet<u32>,
+    /// APN strings seen this day (the classifier's raw material).
+    pub apns: BTreeSet<String>,
+    /// Radio-flags: RATs successfully used, per plane.
+    pub radio_flags: RadioFlags,
+    /// Raw sector ids used this day (distinct set).
+    pub sector_set: BTreeSet<u64>,
+    /// Events per hour of day (signaling + data + voice) — the diurnal
+    /// fingerprint that separates machine traffic (flat/periodic) from
+    /// human traffic (waking-hours curve), cf. the M2M-vs-phone diurnal
+    /// contrast of Shafiq et al. \[18\] that §1 cites.
+    pub hourly: [u32; 24],
+    /// Whether the SIM falls in an operator-designated IMSI range (e.g.
+    /// the studied MNO's dedicated SMIP smart-meter block, §4.4). Tagged
+    /// by the probe *before* anonymization — operators can always label
+    /// their own ranges.
+    pub in_designated_range: bool,
+    /// Whether the SIM falls in a *foreign* M2M IMSI range that the home
+    /// operator published under the GSMA transparency recommendation (§1:
+    /// "home networks and carriers [should] provide transparency of their
+    /// outbound roaming M2M traffic by sharing … dedicated IMSI ranges").
+    /// Tagged pre-anonymization, like `in_designated_range`.
+    pub in_published_m2m_range: bool,
+    /// Mobility accumulator (centroid + gyration).
+    pub mobility: MobilityAccum,
+}
+
+impl CatalogEntry {
+    fn new(user: u64, day: Day, sim_plmn: Plmn, tac: Tac, label: RoamingLabel) -> Self {
+        CatalogEntry {
+            user,
+            day,
+            sim_plmn,
+            tac,
+            label,
+            events: 0,
+            failed_events: 0,
+            calls: 0,
+            sms: 0,
+            call_secs: 0,
+            data_sessions: 0,
+            bytes_up: 0,
+            bytes_down: 0,
+            visited: BTreeSet::new(),
+            apns: BTreeSet::new(),
+            radio_flags: RadioFlags::default(),
+            sector_set: BTreeSet::new(),
+            hourly: [0; 24],
+            in_designated_range: false,
+            in_published_m2m_range: false,
+            mobility: MobilityAccum::default(),
+        }
+    }
+
+    /// Number of distinct sectors used this day.
+    pub fn sectors(&self) -> usize {
+        self.sector_set.len()
+    }
+
+    /// Total bytes both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Whether the device used any data service this day.
+    pub fn used_data(&self) -> bool {
+        self.data_sessions > 0
+    }
+
+    /// Whether the device used any voice service this day.
+    pub fn used_voice(&self) -> bool {
+        self.calls + self.sms > 0
+    }
+}
+
+/// The devices-catalog: all (device, day) rows of the observation window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DevicesCatalog {
+    rows: HashMap<(u64, u32), CatalogEntry>,
+    window_days: u32,
+}
+
+impl DevicesCatalog {
+    /// Creates an empty catalog for a window of `window_days` days.
+    pub fn new(window_days: u32) -> Self {
+        DevicesCatalog {
+            rows: HashMap::new(),
+            window_days,
+        }
+    }
+
+    /// Length of the observation window in days.
+    pub fn window_days(&self) -> u32 {
+        self.window_days
+    }
+
+    /// Gets or creates the row for (user, day); identity fields are set on
+    /// first touch. A device whose label changes *within* one day keeps
+    /// the first label (the paper tags rows daily).
+    pub fn row_mut(
+        &mut self,
+        user: u64,
+        day: Day,
+        sim_plmn: Plmn,
+        tac: Tac,
+        label: RoamingLabel,
+    ) -> &mut CatalogEntry {
+        self.rows
+            .entry((user, day.0))
+            .or_insert_with(|| CatalogEntry::new(user, day, sim_plmn, tac, label))
+    }
+
+    /// Row lookup.
+    pub fn get(&self, user: u64, day: Day) -> Option<&CatalogEntry> {
+        self.rows.get(&(user, day.0))
+    }
+
+    /// Number of rows (device-days).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over all rows (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> {
+        self.rows.values()
+    }
+
+    /// Number of distinct devices seen across the window.
+    pub fn device_count(&self) -> usize {
+        let mut users: Vec<u64> = self.rows.keys().map(|(u, _)| *u).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Groups rows per device, days sorted ascending.
+    pub fn by_device(&self) -> HashMap<u64, Vec<&CatalogEntry>> {
+        let mut out: HashMap<u64, Vec<&CatalogEntry>> = HashMap::new();
+        for entry in self.rows.values() {
+            out.entry(entry.user).or_default().push(entry);
+        }
+        for rows in out.values_mut() {
+            rows.sort_by_key(|e| e.day);
+        }
+        out
+    }
+
+    /// Rows of one day.
+    pub fn day_rows(&self, day: Day) -> impl Iterator<Item = &CatalogEntry> {
+        self.rows.values().filter(move |e| e.day == day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plmn() -> Plmn {
+        Plmn::of(234, 30)
+    }
+
+    fn tac() -> Tac {
+        Tac::new(35_000_000).unwrap()
+    }
+
+    #[test]
+    fn row_identity_set_once() {
+        let mut cat = DevicesCatalog::new(22);
+        let r = cat.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+        r.events += 1;
+        // Second touch with a different label keeps the first.
+        let r = cat.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::IH);
+        r.events += 1;
+        assert_eq!(cat.len(), 1);
+        let row = cat.get(1, Day(0)).unwrap();
+        assert_eq!(row.events, 2);
+        assert_eq!(row.label, RoamingLabel::HH);
+    }
+
+    #[test]
+    fn device_and_day_grouping() {
+        let mut cat = DevicesCatalog::new(22);
+        cat.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+        cat.row_mut(1, Day(3), plmn(), tac(), RoamingLabel::HH);
+        cat.row_mut(2, Day(0), plmn(), tac(), RoamingLabel::IH);
+        assert_eq!(cat.device_count(), 2);
+        let per_dev = cat.by_device();
+        assert_eq!(per_dev[&1].len(), 2);
+        assert_eq!(per_dev[&1][0].day, Day(0));
+        assert_eq!(per_dev[&1][1].day, Day(3));
+        assert_eq!(cat.day_rows(Day(0)).count(), 2);
+        assert_eq!(cat.day_rows(Day(1)).count(), 0);
+    }
+
+    #[test]
+    fn mobility_stationary_has_zero_gyration() {
+        let mut acc = MobilityAccum::default();
+        let p = GeoPoint::new(52.0, -1.0);
+        for _ in 0..10 {
+            acc.add(p, 1.0);
+        }
+        assert!(acc.gyration_km().unwrap() < 1e-6);
+        let c = acc.centroid().unwrap();
+        assert!((c.lat - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobility_gyration_matches_exact_for_two_points() {
+        // Two points 0.2° of latitude apart with equal weight: the exact
+        // gyration is half the distance ≈ 11.12 km.
+        let mut acc = MobilityAccum::default();
+        acc.add(GeoPoint::new(52.0, -1.0), 1.0);
+        acc.add(GeoPoint::new(52.2, -1.0), 1.0);
+        let g = acc.gyration_km().unwrap();
+        assert!((g - 11.12).abs() < 0.15, "got {g}");
+    }
+
+    #[test]
+    fn mobility_respects_weights() {
+        let mut heavy_home = MobilityAccum::default();
+        heavy_home.add(GeoPoint::new(52.0, -1.0), 100.0);
+        heavy_home.add(GeoPoint::new(52.5, -1.0), 1.0);
+        let mut balanced = MobilityAccum::default();
+        balanced.add(GeoPoint::new(52.0, -1.0), 1.0);
+        balanced.add(GeoPoint::new(52.5, -1.0), 1.0);
+        assert!(heavy_home.gyration_km().unwrap() < balanced.gyration_km().unwrap());
+    }
+
+    #[test]
+    fn mobility_merge_equals_combined() {
+        let pts = [
+            (GeoPoint::new(51.0, 0.0), 2.0),
+            (GeoPoint::new(51.5, 0.4), 1.0),
+            (GeoPoint::new(52.0, -0.3), 3.0),
+        ];
+        let mut all = MobilityAccum::default();
+        for (p, w) in pts {
+            all.add(p, w);
+        }
+        let mut a = MobilityAccum::default();
+        a.add(pts[0].0, pts[0].1);
+        let mut b = MobilityAccum::default();
+        b.add(pts[1].0, pts[1].1);
+        b.add(pts[2].0, pts[2].1);
+        a.merge(&b);
+        assert!((a.gyration_km().unwrap() - all.gyration_km().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mobility_yields_none() {
+        let acc = MobilityAccum::default();
+        assert!(acc.centroid().is_none());
+        assert!(acc.gyration_km().is_none());
+    }
+
+    #[test]
+    fn usage_predicates() {
+        let mut cat = DevicesCatalog::new(22);
+        let r = cat.row_mut(5, Day(1), plmn(), tac(), RoamingLabel::IH);
+        assert!(!r.used_data() && !r.used_voice());
+        r.data_sessions = 1;
+        r.bytes_up = 10;
+        r.bytes_down = 5;
+        r.sms = 2;
+        assert!(r.used_data() && r.used_voice());
+        assert_eq!(r.bytes_total(), 15);
+    }
+}

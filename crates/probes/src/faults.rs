@@ -1,0 +1,149 @@
+//! Probe-side fault injection: deterministic record loss.
+//!
+//! Real passive-monitoring deployments drop records — probe restarts,
+//! buffer overruns, sampling. [`LossySink`] wraps any [`EventSink`] and
+//! deterministically discards a configured fraction of events before they
+//! reach it (the record-layer analogue of smoltcp's `--drop-chance` fault
+//! injection). Robustness of the downstream pipeline to this loss is part
+//! of the test suite: the paper's statistics are shares and distributions,
+//! which degrade gracefully rather than break.
+
+use wtr_model::hash::mix64;
+use wtr_sim::events::SimEvent;
+use wtr_sim::world::EventSink;
+
+/// An [`EventSink`] adapter that drops a deterministic pseudo-random
+/// fraction of events.
+#[derive(Debug, Clone)]
+pub struct LossySink<S> {
+    inner: S,
+    drop_fraction: f64,
+    salt: u64,
+    seen: u64,
+    dropped: u64,
+}
+
+impl<S: EventSink> LossySink<S> {
+    /// Wraps `inner`, dropping `drop_fraction` of events (`0.0..=1.0`).
+    pub fn new(inner: S, drop_fraction: f64, salt: u64) -> Self {
+        LossySink {
+            inner,
+            drop_fraction: drop_fraction.clamp(0.0, 1.0),
+            salt,
+            seen: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Reference to the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Events observed (dropped + forwarded).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<S: EventSink> EventSink for LossySink<S> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.seen += 1;
+        // Deterministic per-event coin: device, time and arrival order all
+        // feed the hash so repeated timestamps from one device don't share
+        // fate.
+        let h =
+            mix64(event.device() ^ mix64(event.time().as_secs()) ^ mix64(self.salt ^ self.seen));
+        let coin = h as f64 / u64::MAX as f64;
+        if coin < self.drop_fraction {
+            self.dropped += 1;
+            return;
+        }
+        self.inner.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::ids::{Imei, Imsi, Plmn, Tac};
+    use wtr_model::rat::Rat;
+    use wtr_model::time::SimTime;
+    use wtr_sim::events::{ProcedureResult, ProcedureType, SignalingEvent};
+    use wtr_sim::world::VecSink;
+
+    fn event(i: u64) -> SimEvent {
+        SimEvent::Signaling(SignalingEvent {
+            time: SimTime::from_secs(i),
+            device: i % 17,
+            imsi: Imsi::new(Plmn::of(214, 7), i).unwrap(),
+            imei: Imei::new(Tac::new(35_000_000).unwrap(), 1).unwrap(),
+            visited: Plmn::of(234, 30),
+            sector: None,
+            rat: Rat::G4,
+            procedure: ProcedureType::Authentication,
+            result: ProcedureResult::Ok,
+        })
+    }
+
+    #[test]
+    fn zero_loss_forwards_everything() {
+        let mut sink = LossySink::new(VecSink::default(), 0.0, 1);
+        for i in 0..500 {
+            sink.on_event(&event(i));
+        }
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.inner().events.len(), 500);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut sink = LossySink::new(VecSink::default(), 1.0, 1);
+        for i in 0..100 {
+            sink.on_event(&event(i));
+        }
+        assert_eq!(sink.dropped(), 100);
+        assert!(sink.into_inner().events.is_empty());
+    }
+
+    #[test]
+    fn loss_rate_approximately_respected() {
+        let mut sink = LossySink::new(VecSink::default(), 0.3, 7);
+        for i in 0..20_000 {
+            sink.on_event(&event(i));
+        }
+        let rate = sink.dropped() as f64 / sink.seen() as f64;
+        assert!((0.27..0.33).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_in_salt() {
+        let run = |salt: u64| {
+            let mut sink = LossySink::new(VecSink::default(), 0.5, salt);
+            for i in 0..200 {
+                sink.on_event(&event(i));
+            }
+            sink.into_inner().events.len()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        let sink = LossySink::new(VecSink::default(), 7.5, 0);
+        assert_eq!(sink.drop_fraction, 1.0);
+        let sink = LossySink::new(VecSink::default(), -1.0, 0);
+        assert_eq!(sink.drop_fraction, 0.0);
+    }
+}

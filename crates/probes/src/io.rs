@@ -1,0 +1,368 @@
+//! JSONL persistence for datasets: export and re-import transaction logs
+//! and devices-catalogs.
+//!
+//! This is the bridge to *real* operator data: anything that can be mapped
+//! into these line formats runs through the whole `wtr-core` pipeline
+//! unchanged. One JSON object per line, so streams of arbitrary size can
+//! be processed without loading everything (readers work line-by-line over
+//! any [`BufRead`]).
+//!
+//! Two formats:
+//! * **transactions** — one [`M2mTransaction`] per line (the §3.1 schema);
+//! * **catalog** — one [`CatalogEntry`] per line, preceded by a single
+//!   header line carrying the window length.
+
+use crate::catalog::{CatalogEntry, DevicesCatalog};
+use crate::records::M2mTransaction;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Header line of a catalog JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogHeader {
+    /// Format marker, always `"wtr-catalog"`.
+    pub format: String,
+    /// Observation-window length in days.
+    pub window_days: u32,
+    /// Number of rows that follow.
+    pub rows: usize,
+}
+
+/// Marker value for [`CatalogHeader::format`].
+pub const CATALOG_FORMAT: &str = "wtr-catalog";
+
+/// Errors raised by the JSONL readers/writers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line failed to parse as the expected JSON object.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// serde error description.
+        message: String,
+    },
+    /// The catalog header was missing or malformed.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::BadHeader(m) => write!(f, "bad catalog header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a transaction log as JSONL (one transaction per line).
+pub fn write_transactions<W: Write>(
+    mut out: W,
+    transactions: &[M2mTransaction],
+) -> Result<(), IoError> {
+    for t in transactions {
+        serde_json::to_writer(&mut out, t).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a transaction log written by [`write_transactions`] (or produced
+/// by any tool emitting the same schema).
+pub fn read_transactions<R: BufRead>(input: R) -> Result<Vec<M2mTransaction>, IoError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t: M2mTransaction = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Writes a devices-catalog as JSONL: a header line, then one row per line
+/// in a stable (user, day) order so exports are diffable.
+pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(), IoError> {
+    let header = CatalogHeader {
+        format: CATALOG_FORMAT.to_owned(),
+        window_days: catalog.window_days(),
+        rows: catalog.len(),
+    };
+    serde_json::to_writer(&mut out, &header).map_err(|e| IoError::Parse {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    out.write_all(b"\n")?;
+    let mut rows: Vec<&CatalogEntry> = catalog.iter().collect();
+    rows.sort_by_key(|r| (r.user, r.day));
+    for row in rows {
+        serde_json::to_writer(&mut out, row).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a devices-catalog written by [`write_catalog`].
+pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header_line) = lines
+        .next()
+        .ok_or_else(|| IoError::BadHeader("empty input".into()))?;
+    let header_line = header_line?;
+    let header: CatalogHeader =
+        serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+    if header.format != CATALOG_FORMAT {
+        return Err(IoError::BadHeader(format!(
+            "unknown format {:?}",
+            header.format
+        )));
+    }
+    let mut catalog = DevicesCatalog::new(header.window_days);
+    let mut count = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry: CatalogEntry = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        count += 1;
+        let row = catalog.row_mut(
+            entry.user,
+            entry.day,
+            entry.sim_plmn,
+            entry.tac,
+            entry.label,
+        );
+        *row = entry;
+    }
+    if count != header.rows {
+        return Err(IoError::BadHeader(format!(
+            "header promised {} rows, found {count}",
+            header.rows
+        )));
+    }
+    Ok(catalog)
+}
+
+/// One line of a ground-truth JSONL stream: the anonymized device ID and
+/// its true vertical. Produced by scenario runs (`wtr simulate-mno
+/// --truth`), consumed by `wtr validate` — never by the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruthLine {
+    /// Anonymized device ID (same hashing as the catalog).
+    pub user: u64,
+    /// Ground-truth vertical.
+    pub vertical: wtr_model::vertical::Vertical,
+}
+
+/// Writes a ground-truth map as JSONL in stable (user) order.
+pub fn write_truth<W: Write>(
+    mut out: W,
+    truth: &std::collections::HashMap<u64, wtr_model::vertical::Vertical>,
+) -> Result<(), IoError> {
+    let mut lines: Vec<TruthLine> = truth
+        .iter()
+        .map(|(user, vertical)| TruthLine {
+            user: *user,
+            vertical: *vertical,
+        })
+        .collect();
+    lines.sort_by_key(|l| l.user);
+    for line in lines {
+        serde_json::to_writer(&mut out, &line).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a ground-truth map written by [`write_truth`].
+pub fn read_truth<R: BufRead>(
+    input: R,
+) -> Result<std::collections::HashMap<u64, wtr_model::vertical::Vertical>, IoError> {
+    let mut out = std::collections::HashMap::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t: TruthLine = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        out.insert(t.user, t.vertical);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::ids::{Plmn, Tac};
+    use wtr_model::roaming::RoamingLabel;
+    use wtr_model::time::{Day, SimTime};
+
+    fn sample_catalog() -> DevicesCatalog {
+        let mut cat = DevicesCatalog::new(22);
+        for (user, day) in [(1u64, 0u32), (1, 3), (2, 1)] {
+            let row = cat.row_mut(
+                user,
+                Day(day),
+                Plmn::of(204, 4),
+                Tac::new(35_000_000).unwrap(),
+                RoamingLabel::IH,
+            );
+            row.events = 10 + user;
+            row.bytes_up = 100 * user;
+            row.apns.insert("smhp.centricaplc.com".into());
+            row.hourly[13] = 4;
+        }
+        cat
+    }
+
+    fn sample_transactions() -> Vec<M2mTransaction> {
+        use crate::records::M2mMessageType;
+        use wtr_sim::events::ProcedureResult;
+        (0..50u64)
+            .map(|i| M2mTransaction {
+                device: i,
+                time: SimTime::from_secs(i * 11),
+                sim_plmn: Plmn::of(214, 7),
+                visited_plmn: Plmn::of(234, 30),
+                message: M2mMessageType::UpdateLocation,
+                result: if i % 4 == 0 {
+                    ProcedureResult::RoamingNotAllowed
+                } else {
+                    ProcedureResult::Ok
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transactions_roundtrip() {
+        let txs = sample_transactions();
+        let mut buf = Vec::new();
+        write_transactions(&mut buf, &txs).unwrap();
+        assert_eq!(buf.iter().filter(|b| **b == b'\n').count(), txs.len());
+        let back = read_transactions(&buf[..]).unwrap();
+        assert_eq!(back, txs);
+    }
+
+    #[test]
+    fn transactions_skip_blank_lines() {
+        let txs = sample_transactions();
+        let mut buf = Vec::new();
+        write_transactions(&mut buf, &txs[..2]).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_transactions(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn transactions_report_bad_line_number() {
+        let txs = sample_transactions();
+        let mut buf = Vec::new();
+        write_transactions(&mut buf, &txs[..3]).unwrap();
+        buf.extend_from_slice(b"{not json}\n");
+        let err = read_transactions(&buf[..]).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrip_preserves_rows() {
+        let cat = sample_catalog();
+        let mut buf = Vec::new();
+        write_catalog(&mut buf, &cat).unwrap();
+        let back = read_catalog(&buf[..]).unwrap();
+        assert_eq!(back.len(), cat.len());
+        assert_eq!(back.window_days(), 22);
+        let row = back.get(1, Day(3)).unwrap();
+        assert_eq!(row.events, 11);
+        assert_eq!(row.hourly[13], 4);
+        assert!(row.apns.contains("smhp.centricaplc.com"));
+    }
+
+    #[test]
+    fn catalog_export_is_stable() {
+        let cat = sample_catalog();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_catalog(&mut a, &cat).unwrap();
+        write_catalog(&mut b, &cat).unwrap();
+        assert_eq!(a, b, "exports must be byte-identical (diffable)");
+    }
+
+    #[test]
+    fn truth_roundtrip() {
+        use wtr_model::vertical::Vertical;
+        let truth: std::collections::HashMap<u64, Vertical> = [
+            (7u64, Vertical::SmartMeter),
+            (3, Vertical::Smartphone),
+            (9, Vertical::ConnectedCar),
+        ]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        write_truth(&mut buf, &truth).unwrap();
+        let back = read_truth(&buf[..]).unwrap();
+        assert_eq!(back, truth);
+        // Stable export: byte-identical across runs despite HashMap order.
+        let mut buf2 = Vec::new();
+        write_truth(&mut buf2, &truth).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn catalog_rejects_bad_header_and_row_count() {
+        let cat = sample_catalog();
+        let mut buf = Vec::new();
+        write_catalog(&mut buf, &cat).unwrap();
+        // Truncate the last row: count mismatch.
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            read_catalog(truncated.as_bytes()),
+            Err(IoError::BadHeader(_))
+        ));
+        // Garbage header.
+        assert!(matches!(
+            read_catalog(&b"{\"format\":\"nope\"}\n"[..]),
+            Err(IoError::BadHeader(_))
+        ));
+        assert!(matches!(read_catalog(&b""[..]), Err(IoError::BadHeader(_))));
+    }
+}

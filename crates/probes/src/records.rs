@@ -1,0 +1,227 @@
+//! Record schemas — the exact fields the paper's datasets carry.
+//!
+//! Nothing in a record identifies a subscriber (IDs are one-way hashes) and
+//! nothing reveals simulation ground truth. Records are what operators
+//! exchange, store and analyze; the whole `wtr-core` pipeline consumes only
+//! these types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wtr_model::ids::{Plmn, Tac};
+use wtr_model::rat::Rat;
+use wtr_model::time::SimTime;
+use wtr_radio::sector::SectorId;
+use wtr_sim::events::{ProcedureResult, ProcedureType};
+
+/// Message types of the M2M platform dataset: "message type (either
+/// authentication, update location or cancel location)" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum M2mMessageType {
+    /// Authentication request toward the home HSS/AuC.
+    Authentication,
+    /// Update Location at the home HSS.
+    UpdateLocation,
+    /// Cancel Location pushed by the home HSS to the old VMNO.
+    CancelLocation,
+}
+
+impl M2mMessageType {
+    /// Maps a simulator procedure to the HMNO-visible message type, if the
+    /// procedure is visible at the home network at all (local RAUs and
+    /// plain detaches are not).
+    pub fn from_procedure(p: ProcedureType) -> Option<M2mMessageType> {
+        match p {
+            ProcedureType::Authentication => Some(M2mMessageType::Authentication),
+            // An initial attach reaches the HSS as an Update Location.
+            ProcedureType::Attach | ProcedureType::UpdateLocation => {
+                Some(M2mMessageType::UpdateLocation)
+            }
+            ProcedureType::CancelLocation => Some(M2mMessageType::CancelLocation),
+            ProcedureType::RoutingAreaUpdate | ProcedureType::Detach => None,
+        }
+    }
+
+    /// Label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            M2mMessageType::Authentication => "authentication",
+            M2mMessageType::UpdateLocation => "update-location",
+            M2mMessageType::CancelLocation => "cancel-location",
+        }
+    }
+}
+
+impl fmt::Display for M2mMessageType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One transaction of the M2M platform dataset (§3.1): "a unique device ID
+/// (a one-way hash), a timestamp, SIM country code and network code,
+/// visited country code and mobile network code, message type, and a
+/// message result".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct M2mTransaction {
+    /// Anonymized device ID.
+    pub device: u64,
+    /// Timestamp.
+    pub time: SimTime,
+    /// SIM home PLMN.
+    pub sim_plmn: Plmn,
+    /// Visited network PLMN.
+    pub visited_plmn: Plmn,
+    /// Message type.
+    pub message: M2mMessageType,
+    /// Message result.
+    pub result: ProcedureResult,
+}
+
+/// One radio-interface event of the MNO dataset (§4.1): "the anonymized
+/// user ID, SIM MCC and MNC, Type Allocation Code, the sector ID handling
+/// the communication, timestamp, event type, event result code".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RadioEventRecord {
+    /// Anonymized user ID.
+    pub user: u64,
+    /// SIM home PLMN.
+    pub sim_plmn: Plmn,
+    /// Device TAC (first 8 IMEI digits).
+    pub tac: Tac,
+    /// Serving sector.
+    pub sector: SectorId,
+    /// RAT of the serving sector.
+    pub rat: Rat,
+    /// Timestamp.
+    pub time: SimTime,
+    /// Event type.
+    pub event: ProcedureType,
+    /// Event result code.
+    pub result: ProcedureResult,
+}
+
+/// Kind of service in a CDR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CdrKind {
+    /// Voice call.
+    Call,
+    /// SMS-like short transaction.
+    Sms,
+}
+
+/// One Call Detail Record — aggregate voice usage (§4.1). Unlike radio
+/// events, CDRs exist for outbound roamers too (they drive roaming revenue
+/// clearing, §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cdr {
+    /// Anonymized user ID.
+    pub user: u64,
+    /// SIM home PLMN.
+    pub sim_plmn: Plmn,
+    /// Visited network PLMN.
+    pub visited_plmn: Plmn,
+    /// Device TAC.
+    pub tac: Tac,
+    /// RAT used.
+    pub rat: Rat,
+    /// Timestamp.
+    pub time: SimTime,
+    /// Service kind.
+    pub kind: CdrKind,
+    /// Call duration in seconds (0 for SMS-like).
+    pub duration_secs: u32,
+}
+
+/// One eXtended Detail Record — aggregate data usage (§4.1). "Data records
+/// also report APN strings."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Xdr {
+    /// Anonymized user ID.
+    pub user: u64,
+    /// SIM home PLMN.
+    pub sim_plmn: Plmn,
+    /// Visited network PLMN.
+    pub visited_plmn: Plmn,
+    /// Device TAC.
+    pub tac: Tac,
+    /// RAT used.
+    pub rat: Rat,
+    /// Timestamp.
+    pub time: SimTime,
+    /// Session duration in seconds.
+    pub duration_secs: u32,
+    /// Uplink bytes.
+    pub bytes_up: u64,
+    /// Downlink bytes.
+    pub bytes_down: u64,
+    /// Full APN string of the session.
+    pub apn: String,
+}
+
+impl Xdr {
+    /// Total bytes both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmno_visibility_mapping() {
+        use ProcedureType as P;
+        assert_eq!(
+            M2mMessageType::from_procedure(P::Authentication),
+            Some(M2mMessageType::Authentication)
+        );
+        assert_eq!(
+            M2mMessageType::from_procedure(P::Attach),
+            Some(M2mMessageType::UpdateLocation)
+        );
+        assert_eq!(
+            M2mMessageType::from_procedure(P::UpdateLocation),
+            Some(M2mMessageType::UpdateLocation)
+        );
+        assert_eq!(
+            M2mMessageType::from_procedure(P::CancelLocation),
+            Some(M2mMessageType::CancelLocation)
+        );
+        // Local procedures never reach the home network.
+        assert_eq!(M2mMessageType::from_procedure(P::RoutingAreaUpdate), None);
+        assert_eq!(M2mMessageType::from_procedure(P::Detach), None);
+    }
+
+    #[test]
+    fn xdr_total() {
+        let x = Xdr {
+            user: 1,
+            sim_plmn: Plmn::of(204, 4),
+            visited_plmn: Plmn::of(234, 30),
+            tac: Tac::new(35_000_000).unwrap(),
+            rat: Rat::G2,
+            time: SimTime::ZERO,
+            duration_secs: 30,
+            bytes_up: 1_700,
+            bytes_down: 300,
+            apn: "smhp.centricaplc.com.mnc004.mcc204.gprs".into(),
+        };
+        assert_eq!(x.bytes_total(), 2_000);
+    }
+
+    #[test]
+    fn records_serialize() {
+        let t = M2mTransaction {
+            device: 0xdead_beef,
+            time: SimTime::from_secs(7),
+            sim_plmn: Plmn::of(214, 7),
+            visited_plmn: Plmn::of(505, 1),
+            message: M2mMessageType::UpdateLocation,
+            result: ProcedureResult::RoamingNotAllowed,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: M2mTransaction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,250 @@
+//! Compact binary encoding for transaction logs.
+//!
+//! The M2M dataset at paper scale is 14M transactions; persisting or
+//! shipping it as JSON would be ~50× larger than necessary. This module
+//! defines a fixed-width little-endian record format (26 bytes per
+//! transaction plus a 16-byte log header) built on the `bytes` crate.
+//!
+//! Layout per record: `device:u64 | time:u64 | sim_plmn:u32 |
+//! visited_plmn:u32 | message:u8 | result:u8`.
+//! PLMNs use [`Plmn::packed`]; the decoder reverses the packing.
+
+use crate::records::{M2mMessageType, M2mTransaction};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use wtr_model::error::ParseError;
+use wtr_model::ids::{Mcc, Mnc, Plmn};
+use wtr_model::time::SimTime;
+use wtr_sim::events::ProcedureResult;
+
+/// Magic bytes opening a transaction log.
+pub const MAGIC: &[u8; 8] = b"WTRM2M\x01\x00";
+
+fn encode_plmn(p: Plmn) -> u32 {
+    p.packed()
+}
+
+fn decode_plmn(key: u32) -> Result<Plmn, ParseError> {
+    let mcc = Mcc::new((key / 2000) as u16)?;
+    let mnc_key = key % 2000;
+    let mnc = if mnc_key < 100 {
+        Mnc::new2(mnc_key as u16)?
+    } else {
+        Mnc::new3((mnc_key - 100) as u16)?
+    };
+    Ok(Plmn::new(mcc, mnc))
+}
+
+fn encode_message(m: M2mMessageType) -> u8 {
+    match m {
+        M2mMessageType::Authentication => 0,
+        M2mMessageType::UpdateLocation => 1,
+        M2mMessageType::CancelLocation => 2,
+    }
+}
+
+fn decode_message(b: u8) -> Result<M2mMessageType, ParseError> {
+    Ok(match b {
+        0 => M2mMessageType::Authentication,
+        1 => M2mMessageType::UpdateLocation,
+        2 => M2mMessageType::CancelLocation,
+        _ => {
+            return Err(ParseError::OutOfRange {
+                what: "message type byte",
+                allowed: "0..=2",
+            })
+        }
+    })
+}
+
+fn encode_result(r: ProcedureResult) -> u8 {
+    match r {
+        ProcedureResult::Ok => 0,
+        ProcedureResult::RoamingNotAllowed => 1,
+        ProcedureResult::UnknownSubscription => 2,
+        ProcedureResult::FeatureUnsupported => 3,
+        ProcedureResult::NetworkFailure => 4,
+    }
+}
+
+fn decode_result(b: u8) -> Result<ProcedureResult, ParseError> {
+    Ok(match b {
+        0 => ProcedureResult::Ok,
+        1 => ProcedureResult::RoamingNotAllowed,
+        2 => ProcedureResult::UnknownSubscription,
+        3 => ProcedureResult::FeatureUnsupported,
+        4 => ProcedureResult::NetworkFailure,
+        _ => {
+            return Err(ParseError::OutOfRange {
+                what: "result byte",
+                allowed: "0..=4",
+            })
+        }
+    })
+}
+
+/// Serialized size of one record.
+pub const RECORD_SIZE: usize = 8 + 8 + 4 + 4 + 1 + 1;
+
+/// Encodes a transaction log into a contiguous byte buffer.
+///
+/// ```
+/// use wtr_probes::wire::{decode_log, encode_log, RECORD_SIZE};
+///
+/// let encoded = encode_log(&[]);
+/// assert_eq!(encoded.len(), 16); // header only
+/// assert_eq!(RECORD_SIZE, 26);
+/// assert!(decode_log(encoded).unwrap().is_empty());
+/// ```
+pub fn encode_log(transactions: &[M2mTransaction]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 8 + transactions.len() * RECORD_SIZE);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(transactions.len() as u64);
+    for t in transactions {
+        buf.put_u64_le(t.device);
+        buf.put_u64_le(t.time.as_secs());
+        buf.put_u32_le(encode_plmn(t.sim_plmn));
+        buf.put_u32_le(encode_plmn(t.visited_plmn));
+        buf.put_u8(encode_message(t.message));
+        buf.put_u8(encode_result(t.result));
+    }
+    buf.freeze()
+}
+
+/// Decodes a transaction log produced by [`encode_log`].
+pub fn decode_log(mut buf: impl Buf) -> Result<Vec<M2mTransaction>, ParseError> {
+    if buf.remaining() < MAGIC.len() + 8 {
+        return Err(ParseError::BadLength {
+            what: "transaction log",
+            expected: "at least 16 header bytes",
+            found: buf.remaining(),
+        });
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ParseError::BadApn {
+            reason: "bad transaction-log magic",
+        });
+    }
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() != count * RECORD_SIZE {
+        return Err(ParseError::BadLength {
+            what: "transaction log body",
+            expected: "count * 26 bytes",
+            found: buf.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let device = buf.get_u64_le();
+        let time = SimTime::from_secs(buf.get_u64_le());
+        let sim_plmn = decode_plmn(buf.get_u32_le())?;
+        let visited_plmn = decode_plmn(buf.get_u32_le())?;
+        let message = decode_message(buf.get_u8())?;
+        let result = decode_result(buf.get_u8())?;
+        out.push(M2mTransaction {
+            device,
+            time,
+            sim_plmn,
+            visited_plmn,
+            message,
+            result,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<M2mTransaction> {
+        (0..n)
+            .map(|i| M2mTransaction {
+                device: i * 31,
+                time: SimTime::from_secs(i * 7),
+                sim_plmn: if i % 2 == 0 {
+                    Plmn::of(214, 7)
+                } else {
+                    Plmn::of(334, 20)
+                },
+                visited_plmn: Plmn::of(234, 30),
+                message: match i % 3 {
+                    0 => M2mMessageType::Authentication,
+                    1 => M2mMessageType::UpdateLocation,
+                    _ => M2mMessageType::CancelLocation,
+                },
+                result: match i % 5 {
+                    0 => ProcedureResult::Ok,
+                    1 => ProcedureResult::RoamingNotAllowed,
+                    2 => ProcedureResult::UnknownSubscription,
+                    3 => ProcedureResult::FeatureUnsupported,
+                    _ => ProcedureResult::NetworkFailure,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let txs = sample(1_000);
+        let bytes = encode_log(&txs);
+        assert_eq!(bytes.len(), 16 + 1_000 * RECORD_SIZE);
+        let back = decode_log(bytes).unwrap();
+        assert_eq!(back, txs);
+    }
+
+    #[test]
+    fn empty_log_roundtrip() {
+        let bytes = encode_log(&[]);
+        assert_eq!(decode_log(bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let txs = sample(3);
+        let bytes = encode_log(&txs);
+        let mut raw = bytes.to_vec();
+        raw[0] ^= 0xff;
+        assert!(decode_log(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let txs = sample(3);
+        let bytes = encode_log(&txs);
+        let raw = bytes.to_vec();
+        assert!(decode_log(&raw[..raw.len() - 1]).is_err());
+        assert!(decode_log(&raw[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_enum_bytes() {
+        let txs = sample(1);
+        let mut raw = encode_log(&txs).to_vec();
+        let msg_off = 16 + 8 + 8 + 4 + 4;
+        raw[msg_off] = 9;
+        assert!(decode_log(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn three_digit_mnc_survives_roundtrip() {
+        let tx = M2mTransaction {
+            device: 1,
+            time: SimTime::ZERO,
+            sim_plmn: Plmn::new(Mcc::new(310).unwrap(), Mnc::new3(5).unwrap()),
+            visited_plmn: Plmn::new(Mcc::new(310).unwrap(), Mnc::new2(5).unwrap()),
+            message: M2mMessageType::Authentication,
+            result: ProcedureResult::Ok,
+        };
+        let back = decode_log(encode_log(&[tx])).unwrap();
+        assert_eq!(back[0].sim_plmn.mnc.digits(), 3);
+        assert_eq!(back[0].visited_plmn.mnc.digits(), 2);
+        assert_ne!(back[0].sim_plmn, back[0].visited_plmn);
+    }
+
+    #[test]
+    fn record_size_is_26() {
+        assert_eq!(RECORD_SIZE, 26);
+    }
+}

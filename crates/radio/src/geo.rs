@@ -1,0 +1,286 @@
+//! Geographic primitives and synthetic country geometry.
+//!
+//! Positions are WGS84-style latitude/longitude degrees. Distances use the
+//! haversine formula — exactly what the gyration metric needs (§5.3):
+//! distances between sector coordinates, in kilometres.
+//!
+//! Country geometry is synthetic: each country is modeled as a rectangle
+//! centred on a representative point, sized by a rough area class. The
+//! paper's mobility results only depend on *relative* movement (a smart
+//! meter stays on one sector; a car crosses many), so a rectangle per
+//! country preserves everything that matters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wtr_model::country::Country;
+use wtr_model::hash::mix64;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the globe in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, `-90..=90`.
+    pub lat: f64,
+    /// Longitude in degrees, `-180..=180`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point; debug-asserts coordinates are within range.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Returns the point offset by `(dlat, dlon)` degrees, clamped to
+    /// valid ranges (no wrap-around; simulated movement stays regional).
+    pub fn offset(self, dlat: f64, dlon: f64) -> GeoPoint {
+        GeoPoint {
+            lat: (self.lat + dlat).clamp(-89.9, 89.9),
+            lon: (self.lon + dlon).clamp(-179.9, 179.9),
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+/// Weighted centroid of a set of points — "an aggregate representation of
+/// where in the country the device was located" (§5.3). Weights are dwell
+/// times. Returns `None` when the total weight is zero.
+///
+/// Computed in the local tangent plane (adequate at intra-country scale).
+pub fn weighted_centroid(points: &[(GeoPoint, f64)]) -> Option<GeoPoint> {
+    let total: f64 = points.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let lat = points.iter().map(|(p, w)| p.lat * w).sum::<f64>() / total;
+    let lon = points.iter().map(|(p, w)| p.lon * w).sum::<f64>() / total;
+    Some(GeoPoint { lat, lon })
+}
+
+/// Weighted radius of gyration in kilometres — "indicating how far from the
+/// centroid the device was moving" (§5.3): the square root of the
+/// time-weighted mean squared distance to the centroid.
+pub fn radius_of_gyration_km(points: &[(GeoPoint, f64)]) -> Option<f64> {
+    let centroid = weighted_centroid(points)?;
+    let total: f64 = points.iter().map(|(_, w)| w).sum();
+    let mean_sq = points
+        .iter()
+        .map(|(p, w)| {
+            let d = p.distance_km(centroid);
+            d * d * w
+        })
+        .sum::<f64>()
+        / total;
+    Some(mean_sq.sqrt())
+}
+
+/// Synthetic rectangular geometry for one country.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountryGeometry {
+    /// Representative centre.
+    pub center: GeoPoint,
+    /// Half-extent in latitude degrees.
+    pub half_lat: f64,
+    /// Half-extent in longitude degrees.
+    pub half_lon: f64,
+}
+
+impl CountryGeometry {
+    /// Geometry for a country: curated centres for the countries the paper
+    /// names, deterministic hash-derived positions elsewhere (stable across
+    /// runs, far enough apart that international movement is visible).
+    pub fn of(country: &Country) -> CountryGeometry {
+        for (iso, lat, lon, hlat, hlon) in CURATED_GEOMETRY {
+            if *iso == country.iso {
+                return CountryGeometry {
+                    center: GeoPoint::new(*lat, *lon),
+                    half_lat: *hlat,
+                    half_lon: *hlon,
+                };
+            }
+        }
+        // Hash-derived fallback: scatter within ±55° latitude so grids stay
+        // far from the poles.
+        let h = mix64(country.primary_mcc().value() as u64);
+        let lat = ((h & 0xffff) as f64 / 65_535.0) * 110.0 - 55.0;
+        let lon = (((h >> 16) & 0x3_ffff) as f64 / 262_143.0) * 340.0 - 170.0;
+        CountryGeometry {
+            center: GeoPoint::new(lat, lon),
+            half_lat: 2.0,
+            half_lon: 2.5,
+        }
+    }
+
+    /// Whether `p` lies inside the rectangle (with a small tolerance so
+    /// points produced by [`CountryGeometry::clamp`] always test inside
+    /// despite floating-point rounding).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        const EPS: f64 = 1e-9;
+        (p.lat - self.center.lat).abs() <= self.half_lat + EPS
+            && (p.lon - self.center.lon).abs() <= self.half_lon + EPS
+    }
+
+    /// Clamps `p` into the rectangle.
+    pub fn clamp(&self, p: GeoPoint) -> GeoPoint {
+        GeoPoint {
+            lat: p.lat.clamp(
+                self.center.lat - self.half_lat,
+                self.center.lat + self.half_lat,
+            ),
+            lon: p.lon.clamp(
+                self.center.lon - self.half_lon,
+                self.center.lon + self.half_lon,
+            ),
+        }
+    }
+
+    /// A deterministic point inside the rectangle derived from `selector`
+    /// (used to place stationary devices like smart meters).
+    pub fn point_from_hash(&self, selector: u64) -> GeoPoint {
+        let h = mix64(selector);
+        let fy = (h & 0xffff_ffff) as f64 / u32::MAX as f64;
+        let fx = (h >> 32) as f64 / u32::MAX as f64;
+        GeoPoint {
+            lat: self.center.lat - self.half_lat + fy * 2.0 * self.half_lat,
+            lon: self.center.lon - self.half_lon + fx * 2.0 * self.half_lon,
+        }
+    }
+}
+
+/// Curated (iso, lat, lon, half_lat, half_lon) for countries central to the
+/// paper's story.
+const CURATED_GEOMETRY: &[(&str, f64, f64, f64, f64)] = &[
+    ("GB", 53.0, -1.5, 4.0, 3.0),
+    ("ES", 40.2, -3.7, 3.8, 4.5),
+    ("DE", 51.0, 10.0, 3.5, 4.0),
+    ("NL", 52.2, 5.3, 1.2, 1.5),
+    ("SE", 60.0, 15.0, 6.0, 4.0),
+    ("MX", 23.5, -102.0, 6.0, 8.0),
+    ("AR", -34.5, -64.0, 8.0, 5.0),
+    ("FR", 46.5, 2.5, 4.0, 4.0),
+    ("IT", 42.5, 12.5, 4.5, 3.5),
+    ("PT", 39.5, -8.0, 2.5, 1.5),
+    ("IE", 53.2, -8.0, 1.8, 1.8),
+    ("AU", -25.0, 134.0, 9.0, 14.0),
+    ("US", 39.0, -98.0, 10.0, 20.0),
+    ("BR", -10.0, -52.0, 10.0, 10.0),
+    ("JP", 36.5, 138.0, 4.5, 4.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::country::Country;
+
+    #[test]
+    fn haversine_known_distance() {
+        // London → Madrid ≈ 1264 km.
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let madrid = GeoPoint::new(40.4168, -3.7038);
+        let d = london.distance_km(madrid);
+        assert!((1_200.0..1_330.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint::new(10.0, 20.0);
+        let b = GeoPoint::new(-5.0, 100.0);
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+        assert!(a.distance_km(a) < 1e-9);
+    }
+
+    #[test]
+    fn centroid_of_single_point_is_itself() {
+        let p = GeoPoint::new(50.0, 0.0);
+        let c = weighted_centroid(&[(p, 3.0)]).unwrap();
+        assert!((c.lat - 50.0).abs() < 1e-12 && c.lon.abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_respects_weights() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 10.0);
+        let c = weighted_centroid(&[(a, 3.0), (b, 1.0)]).unwrap();
+        assert!((c.lon - 2.5).abs() < 1e-12, "got {}", c.lon);
+    }
+
+    #[test]
+    fn gyration_zero_for_stationary_device() {
+        // A smart meter on a single sector must have gyration 0 — this is
+        // the degenerate case dominating Fig. 8's m2m curve.
+        let p = GeoPoint::new(52.0, 0.1);
+        let r = radius_of_gyration_km(&[(p, 86_400.0)]).unwrap();
+        assert!(r < 1e-9);
+    }
+
+    #[test]
+    fn gyration_grows_with_spread() {
+        let a = GeoPoint::new(52.0, 0.0);
+        let near = radius_of_gyration_km(&[(a, 1.0), (a.offset(0.01, 0.0), 1.0)]).unwrap();
+        let far = radius_of_gyration_km(&[(a, 1.0), (a.offset(1.0, 0.0), 1.0)]).unwrap();
+        assert!(far > near * 10.0, "near={near} far={far}");
+    }
+
+    #[test]
+    fn gyration_none_without_weight() {
+        assert!(radius_of_gyration_km(&[]).is_none());
+        let p = GeoPoint::new(0.0, 0.0);
+        assert!(radius_of_gyration_km(&[(p, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn curated_geometry_used_for_paper_countries() {
+        let gb = CountryGeometry::of(Country::by_iso("GB").unwrap());
+        assert!((gb.center.lat - 53.0).abs() < 1e-9);
+        let nl = CountryGeometry::of(Country::by_iso("NL").unwrap());
+        assert!(nl.half_lat < gb.half_lat, "NL should be smaller than GB");
+    }
+
+    #[test]
+    fn fallback_geometry_is_deterministic_and_valid() {
+        let kz = Country::by_iso("KZ").unwrap();
+        let a = CountryGeometry::of(kz);
+        let b = CountryGeometry::of(kz);
+        assert_eq!(a, b);
+        assert!((-90.0..=90.0).contains(&a.center.lat));
+        assert!((-180.0..=180.0).contains(&a.center.lon));
+    }
+
+    #[test]
+    fn point_from_hash_inside_rectangle() {
+        let g = CountryGeometry::of(Country::by_iso("ES").unwrap());
+        for sel in 0..500u64 {
+            let p = g.point_from_hash(sel);
+            assert!(g.contains(p), "{p} escaped rectangle");
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_points_inside() {
+        let g = CountryGeometry::of(Country::by_iso("NL").unwrap());
+        let outside = GeoPoint::new(80.0, 170.0);
+        assert!(g.contains(g.clamp(outside)));
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-operator radio networks: RAT support, sector selection and coverage
+//! faults.
+//!
+//! A [`RadioNetwork`] is what a device "sees" of one operator: which RATs
+//! the operator deploys, which sector would serve a given position, and
+//! whether that sector currently has coverage. Coverage holes are the
+//! radio-layer fault-injection hook (smoltcp's `--drop-chance` idiom): a
+//! deterministic fraction of grid cells per RAT are dead, letting scenarios
+//! reproduce devices that fail 4G attachment and fall back to other
+//! networks (§3.3) without any global mutable state.
+
+use crate::geo::{CountryGeometry, GeoPoint};
+use crate::sector::{GridSpacing, SectorGrid, SectorId};
+use serde::{Deserialize, Serialize};
+use wtr_model::hash::mix64;
+use wtr_model::ids::Plmn;
+use wtr_model::rat::{Rat, RatSet};
+
+/// Deterministic coverage-hole configuration.
+///
+/// A sector is a hole when `hash(sector, salt) < threshold`. Holes are a
+/// property of the *network*, so every device at the same spot experiences
+/// the same hole — matching how real dead zones behave, unlike per-event
+/// random drops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageFaults {
+    /// Fraction of 2G sectors without coverage, `0.0..=1.0`.
+    pub hole_fraction_g2: f64,
+    /// Fraction of 3G sectors without coverage.
+    pub hole_fraction_g3: f64,
+    /// Fraction of 4G sectors without coverage. The paper's M2M dataset
+    /// shows 40% of ES-homed IoT devices failing all 4G procedures (§3.3),
+    /// driven partly by patchy 4G footprints.
+    pub hole_fraction_g4: f64,
+    /// Fraction of NB-IoT sectors without coverage. NB-IoT deployments
+    /// are young (§8); where deployed at all, coverage per cell is deep
+    /// (high link budget), so the default matches 4G.
+    pub hole_fraction_nbiot: f64,
+    /// Salt so different scenarios get different hole layouts.
+    pub salt: u64,
+}
+
+impl Default for CoverageFaults {
+    fn default() -> Self {
+        CoverageFaults {
+            hole_fraction_g2: 0.0,
+            hole_fraction_g3: 0.01,
+            hole_fraction_g4: 0.05,
+            hole_fraction_nbiot: 0.05,
+            salt: 0,
+        }
+    }
+}
+
+impl CoverageFaults {
+    /// No coverage holes at all.
+    pub const NONE: CoverageFaults = CoverageFaults {
+        hole_fraction_g2: 0.0,
+        hole_fraction_g3: 0.0,
+        hole_fraction_g4: 0.0,
+        hole_fraction_nbiot: 0.0,
+        salt: 0,
+    };
+
+    fn fraction(&self, rat: Rat) -> f64 {
+        match rat {
+            Rat::G2 => self.hole_fraction_g2,
+            Rat::G3 => self.hole_fraction_g3,
+            Rat::G4 => self.hole_fraction_g4,
+            Rat::NbIot => self.hole_fraction_nbiot,
+        }
+    }
+
+    /// Whether `sector` is a coverage hole under this configuration.
+    pub fn is_hole(&self, sector: SectorId) -> bool {
+        let f = self.fraction(sector.rat());
+        if f <= 0.0 {
+            return false;
+        }
+        if f >= 1.0 {
+            return true;
+        }
+        let h = mix64(sector.raw() ^ mix64(self.salt));
+        (h as f64 / u64::MAX as f64) < f
+    }
+}
+
+/// One operator's radio network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioNetwork {
+    plmn: Plmn,
+    rats: RatSet,
+    grid: SectorGrid,
+    faults: CoverageFaults,
+}
+
+impl RadioNetwork {
+    /// Creates a network for `plmn` deploying `rats` over `geometry`.
+    pub fn new(
+        plmn: Plmn,
+        rats: RatSet,
+        geometry: CountryGeometry,
+        spacing: GridSpacing,
+        faults: CoverageFaults,
+    ) -> Self {
+        RadioNetwork {
+            plmn,
+            rats,
+            grid: SectorGrid::new(plmn, geometry, spacing),
+            faults,
+        }
+    }
+
+    /// Operator PLMN.
+    pub fn plmn(&self) -> Plmn {
+        self.plmn
+    }
+
+    /// A copy of this network deploying a different RAT set — the
+    /// technology-sunset what-if lever (§8: operators retiring 2G/3G).
+    pub fn with_rats(&self, rats: RatSet) -> RadioNetwork {
+        RadioNetwork {
+            rats,
+            ..self.clone()
+        }
+    }
+
+    /// RATs this operator deploys.
+    pub fn rats(&self) -> RatSet {
+        self.rats
+    }
+
+    /// The sector grid (for decoding sector positions).
+    pub fn grid(&self) -> &SectorGrid {
+        &self.grid
+    }
+
+    /// Attempts to find a serving sector for a device at `p` wanting `rat`.
+    ///
+    /// Returns `None` when the operator does not deploy `rat` or the
+    /// grid cell is a coverage hole.
+    pub fn serve(&self, p: GeoPoint, rat: Rat) -> Option<SectorId> {
+        if !self.rats.contains(rat) {
+            return None;
+        }
+        let sector = self.grid.sector_at(p, rat);
+        if self.faults.is_hole(sector) {
+            None
+        } else {
+            Some(sector)
+        }
+    }
+
+    /// The best (newest-generation) RAT this network can serve at `p` out
+    /// of the RATs in `wanted`, with its sector. Models a device radio
+    /// preferring 4G and falling back down the generations.
+    pub fn serve_best(&self, p: GeoPoint, wanted: RatSet) -> Option<(Rat, SectorId)> {
+        for rat in Rat::ALL.into_iter().rev() {
+            if wanted.contains(rat) {
+                if let Some(sec) = self.serve(p, rat) {
+                    return Some((rat, sec));
+                }
+            }
+        }
+        None
+    }
+
+    /// Position of a sector minted by this network.
+    pub fn sector_position(&self, id: SectorId) -> GeoPoint {
+        self.grid.position_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::country::Country;
+
+    fn geom() -> CountryGeometry {
+        CountryGeometry::of(Country::by_iso("GB").unwrap())
+    }
+
+    fn network(rats: RatSet, faults: CoverageFaults) -> RadioNetwork {
+        RadioNetwork::new(
+            Plmn::of(234, 30),
+            rats,
+            geom(),
+            GridSpacing::default(),
+            faults,
+        )
+    }
+
+    #[test]
+    fn serve_respects_rat_deployment() {
+        let net = network(RatSet::G2_G3, CoverageFaults::NONE);
+        let p = GeoPoint::new(52.5, -1.0);
+        assert!(net.serve(p, Rat::G2).is_some());
+        assert!(net.serve(p, Rat::G3).is_some());
+        assert!(net.serve(p, Rat::G4).is_none());
+    }
+
+    #[test]
+    fn serve_best_prefers_newest() {
+        let net = network(RatSet::CONVENTIONAL, CoverageFaults::NONE);
+        let p = GeoPoint::new(52.5, -1.0);
+        let (rat, _) = net.serve_best(p, RatSet::CONVENTIONAL).unwrap();
+        assert_eq!(rat, Rat::G4);
+        let (rat, _) = net.serve_best(p, RatSet::G2_ONLY).unwrap();
+        assert_eq!(rat, Rat::G2);
+        assert!(net.serve_best(p, RatSet::EMPTY).is_none());
+    }
+
+    #[test]
+    fn holes_are_deterministic() {
+        let faults = CoverageFaults {
+            hole_fraction_g4: 0.5,
+            salt: 7,
+            ..CoverageFaults::NONE
+        };
+        let net = network(RatSet::CONVENTIONAL, faults);
+        let p = GeoPoint::new(52.5, -1.0);
+        let first = net.serve(p, Rat::G4);
+        for _ in 0..10 {
+            assert_eq!(net.serve(p, Rat::G4), first);
+        }
+    }
+
+    #[test]
+    fn hole_fraction_roughly_respected() {
+        let faults = CoverageFaults {
+            hole_fraction_g4: 0.3,
+            salt: 3,
+            ..CoverageFaults::NONE
+        };
+        let net = network(RatSet::CONVENTIONAL, faults);
+        let mut holes = 0;
+        let mut total = 0;
+        for i in 0..60 {
+            for j in 0..60 {
+                let p = GeoPoint::new(50.0 + i as f64 * 0.11, -4.0 + j as f64 * 0.09);
+                total += 1;
+                if net.serve(p, Rat::G4).is_none() {
+                    holes += 1;
+                }
+            }
+        }
+        let frac = holes as f64 / total as f64;
+        assert!((0.2..0.4).contains(&frac), "hole fraction {frac}");
+    }
+
+    #[test]
+    fn fallback_across_generations() {
+        // With 4G fully dead, serve_best falls back to 3G.
+        let faults = CoverageFaults {
+            hole_fraction_g4: 1.0,
+            ..CoverageFaults::NONE
+        };
+        let net = network(RatSet::CONVENTIONAL, faults);
+        let p = GeoPoint::new(52.5, -1.0);
+        let (rat, _) = net.serve_best(p, RatSet::CONVENTIONAL).unwrap();
+        assert_eq!(rat, Rat::G3);
+    }
+
+    #[test]
+    fn with_rats_swaps_deployment_only() {
+        let net = network(RatSet::CONVENTIONAL, CoverageFaults::NONE);
+        let sunset = net.with_rats(RatSet::of([Rat::G3, Rat::G4]));
+        let p = GeoPoint::new(52.5, -1.0);
+        assert!(net.serve(p, Rat::G2).is_some());
+        assert!(sunset.serve(p, Rat::G2).is_none(), "2G retired");
+        assert_eq!(sunset.serve(p, Rat::G4), net.serve(p, Rat::G4));
+        assert_eq!(sunset.plmn(), net.plmn());
+    }
+
+    #[test]
+    fn different_salt_different_holes() {
+        let p = GeoPoint::new(52.5, -1.0);
+        let mut outcomes = std::collections::HashSet::new();
+        for salt in 0..64 {
+            let faults = CoverageFaults {
+                hole_fraction_g4: 0.5,
+                salt,
+                ..CoverageFaults::NONE
+            };
+            let net = network(RatSet::CONVENTIONAL, faults);
+            outcomes.insert(net.serve(p, Rat::G4).is_some());
+        }
+        assert_eq!(outcomes.len(), 2, "salt never flips the hole state");
+    }
+}

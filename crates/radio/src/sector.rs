@@ -1,0 +1,285 @@
+//! Sector identifiers and the computed sector grid.
+//!
+//! A [`SectorId`] packs `(PLMN, RAT, grid x, grid y)` into a single `u64`.
+//! Given an operator's [`SectorGrid`] (deployment geometry + per-RAT
+//! density), any position maps to a sector id in `O(1)`, and any sector id
+//! decodes back to the sector's coordinates — which is all the MNO sector
+//! catalog provides the paper's mobility analysis (§5.3).
+
+use crate::geo::{CountryGeometry, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wtr_model::ids::Plmn;
+use wtr_model::rat::Rat;
+
+/// A radio sector: one cell of one RAT of one operator.
+///
+/// Bit layout (low → high):
+/// `grid_y:14 | grid_x:14 | rat:2 | plmn_packed:21` (51 bits used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SectorId(u64);
+
+const GRID_BITS: u32 = 14;
+const GRID_MASK: u64 = (1 << GRID_BITS) - 1;
+
+impl SectorId {
+    fn new(plmn: Plmn, rat: Rat, gx: u16, gy: u16) -> Self {
+        debug_assert!(gx as u64 <= GRID_MASK && gy as u64 <= GRID_MASK);
+        let rat_bits = match rat {
+            Rat::G2 => 0u64,
+            Rat::G3 => 1,
+            Rat::G4 => 2,
+            Rat::NbIot => 3,
+        };
+        let v = gy as u64
+            | ((gx as u64) << GRID_BITS)
+            | (rat_bits << (2 * GRID_BITS))
+            | ((plmn.packed() as u64) << (2 * GRID_BITS + 2));
+        SectorId(v)
+    }
+
+    /// The raw packed value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// RAT of this sector.
+    pub fn rat(self) -> Rat {
+        match (self.0 >> (2 * GRID_BITS)) & 0b11 {
+            0 => Rat::G2,
+            1 => Rat::G3,
+            2 => Rat::G4,
+            _ => Rat::NbIot,
+        }
+    }
+
+    /// Packed PLMN key of the owning operator (see
+    /// [`Plmn::packed`]). The full PLMN is recoverable through the
+    /// operator registry when needed; analyses only compare keys.
+    pub fn plmn_key(self) -> u32 {
+        (self.0 >> (2 * GRID_BITS + 2)) as u32
+    }
+
+    fn grid_xy(self) -> (u16, u16) {
+        (
+            ((self.0 >> GRID_BITS) & GRID_MASK) as u16,
+            (self.0 & GRID_MASK) as u16,
+        )
+    }
+}
+
+impl fmt::Display for SectorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (x, y) = self.grid_xy();
+        write!(
+            f,
+            "sec[{}/{}@{},{}]",
+            self.plmn_key(),
+            self.rat().label(),
+            x,
+            y
+        )
+    }
+}
+
+/// Grid spacing in degrees for each RAT.
+///
+/// Denser grids for newer generations: a 4G deployment has more, smaller
+/// cells than a 2G one. Spacing determines how often a *moving* device
+/// changes sector — the lever behind the Fig. 8 / Fig. 12 mobility
+/// contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpacing {
+    /// 2G inter-sector spacing in degrees (~wide-area macro cells).
+    pub g2: f64,
+    /// 3G spacing.
+    pub g3: f64,
+    /// 4G spacing.
+    pub g4: f64,
+    /// NB-IoT spacing: LPWA carriers ride on a subset of 4G sites but
+    /// reach much further (high coupling loss budget), so cells are wide.
+    pub nbiot: f64,
+}
+
+impl Default for GridSpacing {
+    fn default() -> Self {
+        // ≈ 22 km / 11 km / 5.5 km at mid latitudes.
+        GridSpacing {
+            g2: 0.20,
+            g3: 0.10,
+            g4: 0.05,
+            nbiot: 0.25,
+        }
+    }
+}
+
+impl GridSpacing {
+    /// Spacing for a RAT.
+    pub fn for_rat(&self, rat: Rat) -> f64 {
+        match rat {
+            Rat::G2 => self.g2,
+            Rat::G3 => self.g3,
+            Rat::G4 => self.g4,
+            Rat::NbIot => self.nbiot,
+        }
+    }
+}
+
+/// The computed sector grid of one operator's deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectorGrid {
+    plmn: Plmn,
+    geometry: CountryGeometry,
+    spacing: GridSpacing,
+}
+
+impl SectorGrid {
+    /// Creates a grid for `plmn` deployed over `geometry`.
+    pub fn new(plmn: Plmn, geometry: CountryGeometry, spacing: GridSpacing) -> Self {
+        SectorGrid {
+            plmn,
+            geometry,
+            spacing,
+        }
+    }
+
+    /// Owning operator.
+    pub fn plmn(&self) -> Plmn {
+        self.plmn
+    }
+
+    /// Deployment geometry.
+    pub fn geometry(&self) -> &CountryGeometry {
+        &self.geometry
+    }
+
+    /// The sector serving position `p` on `rat`. Positions outside the
+    /// deployment rectangle snap to the nearest edge sector (a device on a
+    /// border still gets service from the border cell).
+    pub fn sector_at(&self, p: GeoPoint, rat: Rat) -> SectorId {
+        let p = self.geometry.clamp(p);
+        let s = self.spacing.for_rat(rat);
+        let west = self.geometry.center.lon - self.geometry.half_lon;
+        let south = self.geometry.center.lat - self.geometry.half_lat;
+        let gx = (((p.lon - west) / s).floor() as i64).clamp(0, GRID_MASK as i64) as u16;
+        let gy = (((p.lat - south) / s).floor() as i64).clamp(0, GRID_MASK as i64) as u16;
+        SectorId::new(self.plmn, rat, gx, gy)
+    }
+
+    /// Coordinates of a sector's centre (the "sector coordinates provided
+    /// by the MNO sectors catalog", §4.1). Must only be called with ids
+    /// minted by a grid with identical geometry/spacing.
+    pub fn position_of(&self, id: SectorId) -> GeoPoint {
+        let (gx, gy) = id.grid_xy();
+        let s = self.spacing.for_rat(id.rat());
+        let west = self.geometry.center.lon - self.geometry.half_lon;
+        let south = self.geometry.center.lat - self.geometry.half_lat;
+        GeoPoint::new(
+            (south + (gy as f64 + 0.5) * s).clamp(-90.0, 90.0),
+            (west + (gx as f64 + 0.5) * s).clamp(-180.0, 180.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::country::Country;
+
+    fn grid() -> SectorGrid {
+        let geom = CountryGeometry::of(Country::by_iso("GB").unwrap());
+        SectorGrid::new(Plmn::of(234, 30), geom, GridSpacing::default())
+    }
+
+    #[test]
+    fn same_position_same_sector() {
+        let g = grid();
+        let p = GeoPoint::new(52.5, -1.0);
+        assert_eq!(g.sector_at(p, Rat::G2), g.sector_at(p, Rat::G2));
+    }
+
+    #[test]
+    fn different_rats_different_sectors() {
+        let g = grid();
+        let p = GeoPoint::new(52.5, -1.0);
+        let s2 = g.sector_at(p, Rat::G2);
+        let s4 = g.sector_at(p, Rat::G4);
+        assert_ne!(s2, s4);
+        assert_eq!(s2.rat(), Rat::G2);
+        assert_eq!(s4.rat(), Rat::G4);
+    }
+
+    #[test]
+    fn decoded_position_is_near_query_point() {
+        let g = grid();
+        let p = GeoPoint::new(52.5, -1.0);
+        for rat in Rat::ALL {
+            let sec = g.sector_at(p, rat);
+            let pos = g.position_of(sec);
+            // Sector centre within one diagonal of the query point.
+            let max_km = 1.6 * GridSpacing::default().for_rat(rat) * 111.0;
+            assert!(p.distance_km(pos) <= max_km, "{rat}: {p} vs {pos}");
+        }
+    }
+
+    #[test]
+    fn small_movement_keeps_sector_large_movement_changes_it() {
+        let g = grid();
+        let p = GeoPoint::new(52.5004, -1.0004);
+        let near = p.offset(0.001, 0.001);
+        let far = p.offset(0.5, 0.5);
+        assert_eq!(g.sector_at(p, Rat::G2), g.sector_at(near, Rat::G2));
+        assert_ne!(g.sector_at(p, Rat::G2), g.sector_at(far, Rat::G2));
+    }
+
+    #[test]
+    fn operators_do_not_share_sectors() {
+        let geom = CountryGeometry::of(Country::by_iso("GB").unwrap());
+        let a = SectorGrid::new(Plmn::of(234, 30), geom, GridSpacing::default());
+        let b = SectorGrid::new(Plmn::of(234, 10), geom, GridSpacing::default());
+        let p = GeoPoint::new(52.5, -1.0);
+        assert_ne!(a.sector_at(p, Rat::G2), b.sector_at(p, Rat::G2));
+    }
+
+    #[test]
+    fn out_of_country_position_snaps_to_edge() {
+        let g = grid();
+        let far_away = GeoPoint::new(-30.0, 140.0);
+        let sec = g.sector_at(far_away, Rat::G2);
+        let pos = g.position_of(sec);
+        assert!(g.geometry().contains(GeoPoint::new(
+            pos.lat.clamp(
+                g.geometry().center.lat - g.geometry().half_lat,
+                g.geometry().center.lat + g.geometry().half_lat
+            ),
+            pos.lon.clamp(
+                g.geometry().center.lon - g.geometry().half_lon,
+                g.geometry().center.lon + g.geometry().half_lon
+            ),
+        )));
+    }
+
+    #[test]
+    fn sector_id_display_is_informative() {
+        let g = grid();
+        let s = g.sector_at(GeoPoint::new(52.5, -1.0), Rat::G4);
+        let text = s.to_string();
+        assert!(text.contains("4G"), "{text}");
+    }
+
+    #[test]
+    fn grid_denser_for_newer_rats() {
+        // A straight-line walk must cross at least as many 4G sectors as
+        // 2G sectors.
+        let g = grid();
+        let mut seen2 = std::collections::HashSet::new();
+        let mut seen4 = std::collections::HashSet::new();
+        for i in 0..200 {
+            let p = GeoPoint::new(52.0 + i as f64 * 0.005, -1.0);
+            seen2.insert(g.sector_at(p, Rat::G2));
+            seen4.insert(g.sector_at(p, Rat::G4));
+        }
+        assert!(seen4.len() > seen2.len());
+    }
+}

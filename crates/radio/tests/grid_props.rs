@@ -1,0 +1,137 @@
+//! Property tests for the sector-grid codec and coverage model.
+
+use proptest::prelude::*;
+use wtr_model::country::Country;
+use wtr_model::ids::Plmn;
+use wtr_model::rat::Rat;
+use wtr_radio::geo::{CountryGeometry, GeoPoint};
+use wtr_radio::network::{CoverageFaults, RadioNetwork};
+use wtr_radio::sector::{GridSpacing, SectorGrid};
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    prop_oneof![
+        Just(Rat::G2),
+        Just(Rat::G3),
+        Just(Rat::G4),
+        Just(Rat::NbIot)
+    ]
+}
+
+fn gb_grid() -> SectorGrid {
+    SectorGrid::new(
+        Plmn::of(234, 30),
+        CountryGeometry::of(Country::by_iso("GB").unwrap()),
+        GridSpacing::default(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sector_codec_roundtrips_rat_and_locality(
+        lat in 49.5f64..56.5,
+        lon in -4.4f64..1.4,
+        rat in arb_rat()
+    ) {
+        let grid = gb_grid();
+        let p = GeoPoint::new(lat, lon);
+        let sector = grid.sector_at(p, rat);
+        // RAT survives the id packing.
+        prop_assert_eq!(sector.rat(), rat);
+        // Decoded centre is within one cell diagonal of the query point.
+        let centre = grid.position_of(sector);
+        let max_km = 1.6 * GridSpacing::default().for_rat(rat) * 111.2;
+        prop_assert!(p.distance_km(centre) <= max_km);
+        // Re-querying at the decoded centre lands in the same cell.
+        prop_assert_eq!(grid.sector_at(centre, rat), sector);
+    }
+
+    #[test]
+    fn sector_assignment_is_deterministic(
+        lat in 49.5f64..56.5,
+        lon in -4.4f64..1.4,
+        rat in arb_rat()
+    ) {
+        let grid = gb_grid();
+        let p = GeoPoint::new(lat, lon);
+        prop_assert_eq!(grid.sector_at(p, rat), grid.sector_at(p, rat));
+    }
+
+    #[test]
+    fn serve_best_honours_capability_and_deployment(
+        lat in 49.5f64..56.5,
+        lon in -4.4f64..1.4,
+        cap_bits in 0u8..16
+    ) {
+        use wtr_model::rat::RatSet;
+        let caps = RatSet::of(
+            Rat::ALL.into_iter().filter(|r| {
+                let bit = match r { Rat::G2 => 1, Rat::G3 => 2, Rat::G4 => 4, Rat::NbIot => 8 };
+                cap_bits & bit != 0
+            })
+        );
+        let net = RadioNetwork::new(
+            Plmn::of(234, 30),
+            RatSet::CONVENTIONAL,
+            CountryGeometry::of(Country::by_iso("GB").unwrap()),
+            GridSpacing::default(),
+            CoverageFaults::NONE,
+        );
+        let served = net.serve_best(GeoPoint::new(lat, lon), caps);
+        match served {
+            Some((rat, sector)) => {
+                // Whatever is served must be within both the device's
+                // capability and the operator's deployment.
+                prop_assert!(caps.contains(rat));
+                prop_assert!(net.rats().contains(rat));
+                prop_assert_eq!(sector.rat(), rat);
+            }
+            None => {
+                // Only possible when capability ∩ deployment is empty
+                // (no coverage holes configured here).
+                prop_assert!(caps.intersection(net.rats()).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_holes_deterministic_and_bounded(
+        frac in 0.0f64..1.0,
+        salt in any::<u64>(),
+        lat in 49.5f64..56.5,
+        lon in -4.4f64..1.4
+    ) {
+        let faults = CoverageFaults {
+            hole_fraction_g2: 0.0,
+            hole_fraction_g3: 0.0,
+            hole_fraction_g4: frac,
+            hole_fraction_nbiot: 0.0,
+            salt,
+        };
+        let net = RadioNetwork::new(
+            Plmn::of(234, 30),
+            wtr_model::rat::RatSet::CONVENTIONAL,
+            CountryGeometry::of(Country::by_iso("GB").unwrap()),
+            GridSpacing::default(),
+            faults,
+        );
+        let p = GeoPoint::new(lat, lon);
+        prop_assert_eq!(net.serve(p, Rat::G4).is_some(), net.serve(p, Rat::G4).is_some());
+        // 2G is hole-free: always served.
+        prop_assert!(net.serve(p, Rat::G2).is_some());
+    }
+
+    #[test]
+    fn gyration_nonnegative_and_centroid_in_hull(
+        pts in prop::collection::vec((50.0f64..55.0, -4.0f64..1.0, 0.1f64..5.0), 1..30)
+    ) {
+        use wtr_radio::geo::{radius_of_gyration_km, weighted_centroid};
+        let weighted: Vec<(GeoPoint, f64)> =
+            pts.iter().map(|(a, b, w)| (GeoPoint::new(*a, *b), *w)).collect();
+        let g = radius_of_gyration_km(&weighted).unwrap();
+        prop_assert!(g >= 0.0);
+        let c = weighted_centroid(&weighted).unwrap();
+        let min_lat = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let max_lat = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(c.lat >= min_lat - 1e-9 && c.lat <= max_lat + 1e-9);
+    }
+}

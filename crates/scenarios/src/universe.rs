@@ -1,0 +1,260 @@
+//! The shared simulated universe: operators, geometries, radio networks,
+//! agreements and steering.
+//!
+//! Both scenarios run against a [`Universe`]: every country in the model
+//! registry gets its MNOs deployed as radio networks, the platform's
+//! carrier runs a global roaming hub (interconnecting the HMNOs with
+//! MNOs world-wide, §2.1), and a [`PlatformPolicy`] turns that agreement
+//! graph into per-attach admission decisions.
+
+use wtr_model::country::Country;
+use wtr_model::ids::Plmn;
+use wtr_model::operators::{well_known, OperatorKind, OperatorRegistry};
+use wtr_model::rat::RatSet;
+use wtr_platform::agreements::AgreementGraph;
+use wtr_platform::platform::M2mPlatform;
+use wtr_platform::policy::PlatformPolicy;
+use wtr_radio::geo::CountryGeometry;
+use wtr_radio::network::{CoverageFaults, RadioNetwork};
+use wtr_radio::sector::GridSpacing;
+use wtr_sim::world::NetworkDirectory;
+
+/// Everything the scenarios share: registry, networks, policy, platform.
+pub struct Universe {
+    /// All operators.
+    pub registry: OperatorRegistry,
+    /// All radio networks, by country.
+    pub directory: NetworkDirectory,
+    /// Admission + steering policy.
+    pub policy: PlatformPolicy,
+    /// The M2M platform (IoT SIM provisioning).
+    pub platform: M2mPlatform,
+}
+
+impl Universe {
+    /// Geometry of a country by ISO code.
+    pub fn geometry(iso: &str) -> CountryGeometry {
+        CountryGeometry::of(Country::by_iso(iso).expect("known country"))
+    }
+
+    /// Builds the standard universe:
+    ///
+    /// * 3 MNOs per country, curated PLMNs for the paper's named networks;
+    /// * every MNO deploys 2G+3G; the first two per country also deploy 4G
+    ///   (4G coverage holes per `faults`);
+    /// * one **global roaming hub** run by the platform's carrier, joined
+    ///   by all four HMNOs and by the first MNO of every country; a
+    ///   **partner hub**, peered with the global one, joined by the second
+    ///   MNO of every country — giving the paper's hub-of-hubs footprint;
+    /// * bilateral agreements between the studied UK MNO and the paper's
+    ///   key foreign HMNOs (NL, SE, ES, DE — the SIM homes of its inbound
+    ///   roamers), plus intra-UK national-roaming agreements used by the
+    ///   national inbound population.
+    pub fn standard(faults: CoverageFaults) -> Universe {
+        let registry = OperatorRegistry::standard(3);
+        let mut directory = NetworkDirectory::new();
+        for country in Country::all() {
+            let geometry = CountryGeometry::of(country);
+            for (idx, op) in registry
+                .iter()
+                .filter(|o| o.country_iso == country.iso && matches!(o.kind, OperatorKind::Mno))
+                .enumerate()
+            {
+                // First two MNOs run 4G; in EU/RLAH countries (where the
+                // paper notes NB-IoT roaming trials are under way, §8) the
+                // leading MNO also lights up an NB-IoT carrier.
+                let rats = match idx {
+                    // The studied UK MNO runs its own NB-IoT trial too
+                    // (SMIP's scale makes it an early LPWA adopter).
+                    0 if country.eu_rlah || op.plmn == well_known::UK_STUDIED_MNO => {
+                        RatSet::CONVENTIONAL.union(RatSet::NBIOT_ONLY)
+                    }
+                    0 | 1 => RatSet::CONVENTIONAL,
+                    _ => RatSet::G2_G3,
+                };
+                directory.add(
+                    country.iso,
+                    RadioNetwork::new(op.plmn, rats, geometry, GridSpacing::default(), faults),
+                );
+            }
+        }
+
+        let mut agreements = AgreementGraph::new();
+        let global_hub = agreements.add_hub("GlobalConnect IPX");
+        let partner_hub = agreements.add_hub("Meridian Hub");
+        agreements.peer_hubs(global_hub, partner_hub);
+        for hmno in [
+            well_known::ES_HMNO,
+            well_known::DE_HMNO,
+            well_known::MX_HMNO,
+            well_known::AR_HMNO,
+            well_known::NL_SMART_METER_HMNO,
+            well_known::SE_HMNO,
+        ] {
+            agreements.join_hub(global_hub, hmno);
+        }
+        for country in Country::all() {
+            let mnos: Vec<Plmn> = directory.in_country(country.iso).to_vec();
+            if let Some(first) = mnos.first() {
+                agreements.join_hub(global_hub, *first);
+            }
+            if let Some(second) = mnos.get(1) {
+                agreements.join_hub(partner_hub, *second);
+            }
+        }
+        // The studied MNO's direct bilateral relationships.
+        for partner in [
+            well_known::NL_SMART_METER_HMNO,
+            well_known::SE_HMNO,
+            well_known::ES_HMNO,
+            well_known::DE_HMNO,
+        ] {
+            agreements.add_bilateral(well_known::UK_STUDIED_MNO, partner);
+        }
+        // Intra-UK national roaming (used by the national inbound
+        // population and by roaming smart meters hopping UK networks).
+        for other in well_known::UK_OTHER_MNOS {
+            agreements.add_bilateral(well_known::UK_STUDIED_MNO, *other);
+        }
+
+        let mut policy = PlatformPolicy::new(agreements);
+        policy.allow_national_roaming = true;
+
+        let platform = M2mPlatform::new(vec![
+            well_known::ES_HMNO,
+            well_known::DE_HMNO,
+            well_known::MX_HMNO,
+            well_known::AR_HMNO,
+        ]);
+
+        Universe {
+            registry,
+            directory,
+            policy,
+            platform,
+        }
+    }
+
+    /// Retires one RAT from every network of a country — the §8 sunset
+    /// what-if. Devices whose hardware only supports the retired RAT are
+    /// stranded there.
+    pub fn sunset_rat(&mut self, iso: &str, rat: wtr_model::rat::Rat) {
+        let plmns: Vec<Plmn> = self.directory.in_country(iso).to_vec();
+        let mut rebuilt = NetworkDirectory::new();
+        for country in Country::all() {
+            for plmn in self.directory.in_country(country.iso).to_vec() {
+                let net = self.directory.get(plmn).expect("registered").clone();
+                let net = if plmns.contains(&plmn) {
+                    let mut rats = net.rats();
+                    rats.remove(rat);
+                    net.with_rats(rats)
+                } else {
+                    net
+                };
+                rebuilt.add(country.iso, net);
+            }
+        }
+        self.directory = rebuilt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_sim::world::{AccessDecision, AccessPolicy};
+
+    #[test]
+    fn every_country_has_networks() {
+        let u = Universe::standard(CoverageFaults::NONE);
+        for country in Country::all() {
+            let nets = u.directory.in_country(country.iso);
+            assert!(nets.len() >= 3, "{}: {} networks", country.iso, nets.len());
+        }
+    }
+
+    #[test]
+    fn hub_gives_platform_sims_global_reach() {
+        let u = Universe::standard(CoverageFaults::NONE);
+        // ES HMNO SIM admitted by the first MNO of an arbitrary far
+        // country via the global hub.
+        let au = u.directory.in_country("AU")[0];
+        assert_eq!(
+            u.policy.decide(well_known::ES_HMNO, au),
+            AccessDecision::Allowed
+        );
+        // …and by second MNOs via the hub peering.
+        let au2 = u.directory.in_country("AU")[1];
+        assert_eq!(
+            u.policy.decide(well_known::ES_HMNO, au2),
+            AccessDecision::Allowed
+        );
+        // Third MNOs are in no hub: denied without a bilateral.
+        let au3 = u.directory.in_country("AU")[2];
+        assert_eq!(
+            u.policy.decide(well_known::ES_HMNO, au3),
+            AccessDecision::RoamingNotAllowed
+        );
+    }
+
+    #[test]
+    fn uk_studied_mno_reachable_by_meter_sims() {
+        let u = Universe::standard(CoverageFaults::NONE);
+        assert!(u
+            .policy
+            .decide(well_known::NL_SMART_METER_HMNO, well_known::UK_STUDIED_MNO)
+            .is_allowed());
+    }
+
+    #[test]
+    fn first_two_mnos_deploy_4g() {
+        let u = Universe::standard(CoverageFaults::NONE);
+        let gb = u.directory.in_country("GB");
+        assert!(u
+            .directory
+            .get(gb[0])
+            .unwrap()
+            .rats()
+            .contains(wtr_model::rat::Rat::G4));
+        assert!(u
+            .directory
+            .get(gb[1])
+            .unwrap()
+            .rats()
+            .contains(wtr_model::rat::Rat::G4));
+        assert!(!u
+            .directory
+            .get(gb[2])
+            .unwrap()
+            .rats()
+            .contains(wtr_model::rat::Rat::G4));
+    }
+
+    #[test]
+    fn sunset_removes_rat_in_one_country_only() {
+        let mut u = Universe::standard(CoverageFaults::NONE);
+        u.sunset_rat("GB", wtr_model::rat::Rat::G2);
+        for plmn in u.directory.in_country("GB") {
+            assert!(!u
+                .directory
+                .get(*plmn)
+                .unwrap()
+                .rats()
+                .contains(wtr_model::rat::Rat::G2));
+        }
+        let es = u.directory.in_country("ES")[0];
+        assert!(u
+            .directory
+            .get(es)
+            .unwrap()
+            .rats()
+            .contains(wtr_model::rat::Rat::G2));
+    }
+
+    #[test]
+    fn studied_mno_is_a_first_network() {
+        // The studied MNO must deploy 4G (it hosts smartphones); curated
+        // PLMNs are inserted first, so it is the first GB network.
+        let u = Universe::standard(CoverageFaults::NONE);
+        assert_eq!(u.directory.in_country("GB")[0], well_known::UK_STUDIED_MNO);
+    }
+}

@@ -1,0 +1,837 @@
+//! Device agents: the state machines that generate all observable traffic.
+//!
+//! A [`DeviceAgent`] wraps a [`DeviceSpec`] (identity + behaviour
+//! parameters, produced by the scenario builders) and executes it against
+//! the world: each simulated day it plans its events, and at each event it
+//! ensures it is attached to a network (running the real signaling
+//! procedures, with all their failure modes) before producing data/voice
+//! activity.
+//!
+//! ## Attachment & VMNO switching
+//!
+//! On every event the device checks whether its camped network still serves
+//! its current position for its radio capabilities. If not — or if a
+//! steering/instability coin-flip forces reselection — it walks the
+//! policy-ordered candidate list of the current country, emitting an
+//! `Authentication` + `UpdateLocation` sequence per attempt (failed
+//! attempts emit the failure result; a success additionally triggers a
+//! `CancelLocation` at the previous network). This is exactly the
+//! transaction mix of the paper's M2M dataset (§3.1) and produces the
+//! inter-VMNO switching dynamics of Fig. 3.
+
+use crate::engine::{Agent, AgentId, Scheduler, WakeTag};
+use crate::events::{
+    DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall, VoiceKind,
+};
+use crate::mobility::MobilityModel;
+use crate::rng::SubstreamRng;
+use crate::traffic::TrafficProfile;
+use crate::world::{AccessDecision, EventSink, RoamingWorld};
+use serde::{Deserialize, Serialize};
+use wtr_model::apn::Apn;
+use wtr_model::ids::{Imei, Imsi, Plmn};
+use wtr_model::rat::{Rat, RatSet};
+use wtr_model::time::{Day, SimTime};
+use wtr_radio::geo::GeoPoint;
+use wtr_radio::sector::SectorId;
+
+/// When a device exists and how reliably it shows up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PresenceModel {
+    /// First day (inclusive) the device is present.
+    pub first_day: u32,
+    /// Last day (exclusive) — e.g. a tourist's departure.
+    pub last_day: u32,
+    /// Probability the device is active on any present day. Smart meters
+    /// under deployment, duty-cycled sensors and flaky devices use < 1.
+    pub daily_active_prob: f64,
+}
+
+impl PresenceModel {
+    /// Present and potentially active on `day`?
+    pub fn present_on(&self, day: Day) -> bool {
+        (self.first_day..self.last_day).contains(&day.0)
+    }
+
+    /// A device present for the whole window, always active.
+    pub fn always(window_days: u32) -> Self {
+        PresenceModel {
+            first_day: 0,
+            last_day: window_days,
+            daily_active_prob: 1.0,
+        }
+    }
+}
+
+/// One segment of a device's international itinerary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItineraryLeg {
+    /// Day (within the observation window) this leg starts.
+    pub from_day: u32,
+    /// Country the device is in during the leg.
+    pub country_iso: String,
+    /// How it moves while there.
+    pub mobility: MobilityModel,
+}
+
+/// Everything that defines one simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Scenario-unique index (also the RNG substream selector).
+    pub index: u64,
+    /// The SIM.
+    pub imsi: Imsi,
+    /// The equipment.
+    pub imei: Imei,
+    /// Ground-truth vertical (never visible to classifiers).
+    pub vertical: wtr_model::vertical::Vertical,
+    /// Radio generations the hardware supports (from its TAC).
+    pub radio_caps: RatSet,
+    /// APNs the device uses for data sessions.
+    pub apns: Vec<Apn>,
+    /// Whether the subscription uses data at all (§6.1: 24.5% of M2M and
+    /// 56.8% of feature phones never touch the data plane).
+    pub data_enabled: bool,
+    /// Whether the subscription uses voice/SMS services.
+    pub voice_enabled: bool,
+    /// Traffic rates and shapes.
+    pub traffic: TrafficProfile,
+    /// Presence window.
+    pub presence: PresenceModel,
+    /// Country/mobility schedule, sorted by `from_day`, non-empty.
+    pub itinerary: Vec<ItineraryLeg>,
+    /// Per-signaling-event probability of a forced network reselection
+    /// (drives the inter-VMNO switch counts of Fig. 3-right).
+    pub switch_propensity: f64,
+    /// Per-procedure probability of a transient failure even when access
+    /// is granted.
+    pub event_failure_prob: f64,
+    /// When set, every attach attempt fails with this result and the
+    /// device never gets service — the §3.3 population of devices with
+    /// only-failed 4G procedures (misprovisioned subscriptions, devices
+    /// whose plan lacks the RAT).
+    pub sticky_failure: Option<ProcedureResult>,
+}
+
+impl DeviceSpec {
+    /// The itinerary leg covering `day`.
+    pub fn leg_at(&self, day: Day) -> &ItineraryLeg {
+        debug_assert!(!self.itinerary.is_empty());
+        let mut current = &self.itinerary[0];
+        for leg in &self.itinerary {
+            if leg.from_day <= day.0 {
+                current = leg;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Number of distinct countries on the itinerary.
+    pub fn countries_visited(&self) -> usize {
+        let mut isos: Vec<&str> = self
+            .itinerary
+            .iter()
+            .map(|l| l.country_iso.as_str())
+            .collect();
+        isos.sort_unstable();
+        isos.dedup();
+        isos.len()
+    }
+}
+
+/// Wake tags used by the device agent.
+mod tags {
+    /// Plan the day's events.
+    pub const DAY: u32 = 0;
+    /// A signaling (mobility management) event.
+    pub const SIGNALING: u32 = 1;
+    /// A data session.
+    pub const DATA: u32 = 2;
+    /// A voice/SMS event.
+    pub const VOICE: u32 = 3;
+}
+
+/// The executable agent for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceAgent {
+    spec: DeviceSpec,
+    rng: SubstreamRng,
+    multiplier: f64,
+    /// How many candidate networks a sticky-failing device attempts per
+    /// wake. Most misprovisioned devices retry one network forever; a
+    /// minority hunt the whole candidate list (the paper's 19-VMNO tail).
+    sticky_breadth: usize,
+    camped: Option<(Plmn, Rat)>,
+    camped_country: Option<String>,
+    force_reselect: bool,
+}
+
+impl DeviceAgent {
+    /// Builds the agent; RNG substream and per-device rate multiplier are
+    /// derived deterministically from `master_seed` and the spec index.
+    pub fn new(spec: DeviceSpec, master_seed: u64) -> Self {
+        let mut rng = SubstreamRng::derive(master_seed, spec.index);
+        let multiplier = spec.traffic.draw_device_multiplier(&mut rng);
+        let sticky_breadth = match rng.weighted_index(&[0.95, 0.03, 0.02]) {
+            0 => 1,
+            1 => 2,
+            _ => usize::MAX,
+        };
+        DeviceAgent {
+            spec,
+            rng,
+            multiplier,
+            sticky_breadth,
+            camped: None,
+            camped_country: None,
+            force_reselect: false,
+        }
+    }
+
+    /// Read access to the spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The device's per-device rate multiplier.
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the record's fields
+    fn signal<S: EventSink>(
+        &self,
+        world: &mut RoamingWorld<S>,
+        time: SimTime,
+        visited: Plmn,
+        sector: Option<SectorId>,
+        rat: Rat,
+        procedure: ProcedureType,
+        result: ProcedureResult,
+    ) {
+        world.emit(SimEvent::Signaling(SignalingEvent {
+            time,
+            device: self.spec.index,
+            imsi: self.spec.imsi,
+            imei: self.spec.imei,
+            visited,
+            sector,
+            rat,
+            procedure,
+            result,
+        }));
+    }
+
+    /// Ensures the device is attached somewhere usable at `now`; returns
+    /// the serving (network, RAT, sector) or `None` when every candidate
+    /// failed. Emits all signaling this entails.
+    fn ensure_attached<S: EventSink>(
+        &mut self,
+        world: &mut RoamingWorld<S>,
+        now: SimTime,
+        pos: GeoPoint,
+        country_iso: &str,
+    ) -> Option<(Plmn, Rat, SectorId)> {
+        let caps = self.spec.radio_caps;
+        let moved_country = self
+            .camped_country
+            .as_deref()
+            .is_some_and(|c| c != country_iso);
+
+        // Fast path: still served by the camped network.
+        if !self.force_reselect && !moved_country {
+            if let Some((plmn, _)) = self.camped {
+                if let Some(net) = world.directory.get(plmn) {
+                    if let Some((rat, sec)) = net.serve_best(pos, caps.intersection(net.rats())) {
+                        self.camped = Some((plmn, rat));
+                        return Some((plmn, rat, sec));
+                    }
+                }
+            }
+        }
+
+        // Reselection walk.
+        let mut candidates: Vec<Plmn> = world.directory.in_country(country_iso).to_vec();
+        let home = self.spec.imsi.plmn();
+        world.policy.preference_order(home, &mut candidates);
+        if self.force_reselect {
+            // A forced switch must not land on the same network again.
+            if let Some((current, _)) = self.camped {
+                candidates.retain(|p| *p != current);
+            }
+            // Devices mostly ping-pong between two preferred networks
+            // (Fig. 3: switch counts far exceed VMNO counts); only
+            // occasionally does a switch land further down the list.
+            if candidates.len() > 1 && self.rng.chance(0.1) {
+                let k = self.rng.index(candidates.len());
+                candidates.rotate_left(k);
+            }
+        }
+        self.force_reselect = false;
+
+        let previous = self.camped;
+        let mut attempts = 0usize;
+        for cand in candidates {
+            let Some(net) = world.directory.get(cand) else {
+                continue;
+            };
+            let Some((rat, sec)) = net.serve_best(pos, caps.intersection(net.rats())) else {
+                continue;
+            };
+            if let Some(fail) = self.spec.sticky_failure {
+                // Misprovisioned device: authentication fails everywhere.
+                self.signal(
+                    world,
+                    now,
+                    cand,
+                    Some(sec),
+                    rat,
+                    ProcedureType::Authentication,
+                    fail,
+                );
+                self.signal(
+                    world,
+                    now,
+                    cand,
+                    Some(sec),
+                    rat,
+                    ProcedureType::UpdateLocation,
+                    fail,
+                );
+                // Most failing devices retry the steering head forever;
+                // only the hunting minority walks further down the list
+                // (the paper's worst devices attempt 19 VMNOs).
+                attempts += 1;
+                if attempts >= self.sticky_breadth {
+                    break;
+                }
+                continue;
+            }
+            let decision = world.policy.decide(home, cand);
+            match decision {
+                AccessDecision::Allowed => {
+                    if self.rng.chance(self.spec.event_failure_prob) {
+                        // Transient failure on this attempt; try next.
+                        self.signal(
+                            world,
+                            now,
+                            cand,
+                            Some(sec),
+                            rat,
+                            ProcedureType::Authentication,
+                            ProcedureResult::NetworkFailure,
+                        );
+                        continue;
+                    }
+                    self.signal(
+                        world,
+                        now,
+                        cand,
+                        Some(sec),
+                        rat,
+                        ProcedureType::Authentication,
+                        ProcedureResult::Ok,
+                    );
+                    self.signal(
+                        world,
+                        now,
+                        cand,
+                        Some(sec),
+                        rat,
+                        ProcedureType::UpdateLocation,
+                        ProcedureResult::Ok,
+                    );
+                    // The HSS cancels the registration at the old network.
+                    if let Some((old, old_rat)) = previous {
+                        if old != cand {
+                            self.signal(
+                                world,
+                                now,
+                                old,
+                                None,
+                                old_rat,
+                                ProcedureType::CancelLocation,
+                                ProcedureResult::Ok,
+                            );
+                        }
+                    }
+                    self.camped = Some((cand, rat));
+                    self.camped_country = Some(country_iso.to_owned());
+                    return Some((cand, rat, sec));
+                }
+                denied => {
+                    let result = match denied {
+                        AccessDecision::RoamingNotAllowed => ProcedureResult::RoamingNotAllowed,
+                        AccessDecision::UnknownSubscription => ProcedureResult::UnknownSubscription,
+                        AccessDecision::FeatureUnsupported => ProcedureResult::FeatureUnsupported,
+                        AccessDecision::Allowed => unreachable!(),
+                    };
+                    self.signal(
+                        world,
+                        now,
+                        cand,
+                        Some(sec),
+                        rat,
+                        ProcedureType::UpdateLocation,
+                        result,
+                    );
+                }
+            }
+        }
+        // Nothing admitted us; we are detached.
+        self.camped = None;
+        self.camped_country = None;
+        None
+    }
+
+    fn plan_day(&mut self, id: AgentId, day: Day, sched: &mut Scheduler) {
+        let (sig, data, voice) = self
+            .spec
+            .traffic
+            .sample_day_counts(&mut self.rng, self.multiplier);
+        let shape = self.spec.traffic.diurnal;
+        for _ in 0..sig {
+            let at = day.start()
+                + wtr_model::time::SimDuration::from_secs(shape.sample_second(&mut self.rng));
+            sched.wake_at(id, WakeTag(tags::SIGNALING), at);
+        }
+        if self.spec.data_enabled {
+            for _ in 0..data {
+                let at = day.start()
+                    + wtr_model::time::SimDuration::from_secs(shape.sample_second(&mut self.rng));
+                sched.wake_at(id, WakeTag(tags::DATA), at);
+            }
+        }
+        if self.spec.voice_enabled {
+            for _ in 0..voice {
+                let at = day.start()
+                    + wtr_model::time::SimDuration::from_secs(shape.sample_second(&mut self.rng));
+                sched.wake_at(id, WakeTag(tags::VOICE), at);
+            }
+        }
+    }
+}
+
+impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
+    fn init(&mut self, id: AgentId, _world: &mut RoamingWorld<S>, sched: &mut Scheduler) {
+        let first = self.spec.presence.first_day;
+        sched.wake_at(id, WakeTag(tags::DAY), Day(first).start());
+    }
+
+    fn wake(
+        &mut self,
+        id: AgentId,
+        tag: WakeTag,
+        world: &mut RoamingWorld<S>,
+        sched: &mut Scheduler,
+    ) {
+        let now = sched.now();
+        let day = now.day();
+        match tag.0 {
+            tags::DAY => {
+                if self.spec.presence.present_on(day)
+                    && self.rng.chance(self.spec.presence.daily_active_prob)
+                {
+                    self.plan_day(id, day, sched);
+                    // Some devices re-evaluate their serving network daily.
+                    if self.rng.chance(self.spec.switch_propensity) {
+                        self.force_reselect = true;
+                    }
+                }
+                // Schedule the next day's planning while still present.
+                let next = Day(day.0 + 1);
+                if next.0 < self.spec.presence.last_day {
+                    sched.wake_at(id, WakeTag(tags::DAY), next.start());
+                }
+            }
+            tags::SIGNALING => {
+                let leg = self.spec.leg_at(day).clone();
+                let pos = leg.mobility.position(now);
+                if self.rng.chance(self.spec.switch_propensity) {
+                    self.force_reselect = true;
+                }
+                if let Some((plmn, rat, sec)) =
+                    self.ensure_attached(world, now, pos, &leg.country_iso)
+                {
+                    let result = if self.rng.chance(self.spec.event_failure_prob) {
+                        ProcedureResult::NetworkFailure
+                    } else {
+                        ProcedureResult::Ok
+                    };
+                    if self.rng.chance(self.spec.traffic.reauth_fraction) {
+                        // Full re-registration: visible at the home HSS
+                        // (and therefore to the M2M platform probes).
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::Authentication,
+                            result,
+                        );
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::UpdateLocation,
+                            result,
+                        );
+                    } else {
+                        // Local periodic registration on the camped network.
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::RoutingAreaUpdate,
+                            result,
+                        );
+                    }
+                }
+            }
+            tags::DATA => {
+                if !self.spec.data_enabled || self.spec.apns.is_empty() {
+                    return;
+                }
+                let leg = self.spec.leg_at(day).clone();
+                let pos = leg.mobility.position(now);
+                if let Some((plmn, rat, sec)) =
+                    self.ensure_attached(world, now, pos, &leg.country_iso)
+                {
+                    let (up, down) = self.spec.traffic.volume.sample(&mut self.rng);
+                    let apn_idx = self.rng.index(self.spec.apns.len());
+                    let duration = self.rng.exponential(300.0).clamp(1.0, 7_200.0) as u32;
+                    let apn = self.spec.apns[apn_idx].clone();
+                    world.emit(SimEvent::Data(DataSession {
+                        time: now,
+                        device: self.spec.index,
+                        imsi: self.spec.imsi,
+                        imei: self.spec.imei,
+                        visited: plmn,
+                        sector: sec,
+                        rat,
+                        apn,
+                        duration_secs: duration,
+                        bytes_up: up,
+                        bytes_down: down,
+                    }));
+                }
+            }
+            tags::VOICE => {
+                if !self.spec.voice_enabled {
+                    return;
+                }
+                let leg = self.spec.leg_at(day).clone();
+                let pos = leg.mobility.position(now);
+                if let Some((plmn, rat, sec)) =
+                    self.ensure_attached(world, now, pos, &leg.country_iso)
+                {
+                    let (kind, duration) = if self.spec.traffic.voice_is_call {
+                        let d = self
+                            .rng
+                            .exponential(self.spec.traffic.call_duration_mean_secs.max(1.0))
+                            .clamp(1.0, 7_200.0) as u32;
+                        (VoiceKind::Call, d)
+                    } else {
+                        (VoiceKind::SmsLike, 0)
+                    };
+                    world.emit(SimEvent::Voice(VoiceCall {
+                        time: now,
+                        device: self.spec.index,
+                        imsi: self.spec.imsi,
+                        imei: self.spec.imei,
+                        visited: plmn,
+                        sector: sec,
+                        rat,
+                        kind,
+                        duration_secs: duration,
+                    }));
+                }
+            }
+            other => debug_assert!(false, "unknown wake tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::world::{AllowAllPolicy, NetworkDirectory, VecSink};
+    use wtr_model::country::Country;
+    use wtr_model::ids::Tac;
+    use wtr_model::time::SimTime;
+    use wtr_model::vertical::Vertical;
+    use wtr_radio::geo::CountryGeometry;
+    use wtr_radio::network::{CoverageFaults, RadioNetwork};
+    use wtr_radio::sector::GridSpacing;
+
+    const MNO: Plmn = Plmn::of(234, 30);
+    const OTHER: Plmn = Plmn::of(234, 10);
+
+    fn uk_geom() -> CountryGeometry {
+        CountryGeometry::of(Country::by_iso("GB").unwrap())
+    }
+
+    fn directory() -> NetworkDirectory {
+        let mut dir = NetworkDirectory::new();
+        for plmn in [MNO, OTHER] {
+            dir.add(
+                "GB",
+                RadioNetwork::new(
+                    plmn,
+                    RatSet::CONVENTIONAL,
+                    uk_geom(),
+                    GridSpacing::default(),
+                    CoverageFaults::NONE,
+                ),
+            );
+        }
+        dir
+    }
+
+    fn meter_spec(index: u64) -> DeviceSpec {
+        DeviceSpec {
+            index,
+            imsi: Imsi::new(Plmn::of(204, 4), index).unwrap(),
+            imei: Imei::new(Tac::new(35_000_000).unwrap(), index as u32 % 1_000_000).unwrap(),
+            vertical: Vertical::SmartMeter,
+            radio_caps: RatSet::G2_ONLY,
+            apns: vec!["smhp.centricaplc.com.mnc004.mcc204.gprs".parse().unwrap()],
+            data_enabled: true,
+            voice_enabled: false,
+            traffic: TrafficProfile::for_vertical(Vertical::SmartMeter),
+            presence: PresenceModel::always(7),
+            itinerary: vec![ItineraryLeg {
+                from_day: 0,
+                country_iso: "GB".into(),
+                mobility: MobilityModel::stationary_in(&uk_geom(), index),
+            }],
+            switch_propensity: 0.0,
+            event_failure_prob: 0.0,
+            sticky_failure: None,
+        }
+    }
+
+    fn run(specs: Vec<DeviceSpec>, days: u32) -> Vec<SimEvent> {
+        let world = RoamingWorld::new(
+            directory(),
+            Box::new(AllowAllPolicy),
+            VecSink::default(),
+            99,
+        );
+        let mut engine = Engine::new(world, SimTime::from_secs(days as u64 * 86_400));
+        for spec in specs {
+            engine.add_agent(DeviceAgent::new(spec, 99));
+        }
+        engine.run().sink.events
+    }
+
+    #[test]
+    fn meter_produces_signaling_and_data_on_2g() {
+        let events = run(vec![meter_spec(1)], 7);
+        assert!(!events.is_empty());
+        let mut has_sig = false;
+        let mut has_data = false;
+        for e in &events {
+            match e {
+                SimEvent::Signaling(s) => {
+                    assert_eq!(s.rat, Rat::G2, "2G-only device used {}", s.rat);
+                    has_sig = true;
+                }
+                SimEvent::Data(d) => {
+                    assert_eq!(d.rat, Rat::G2);
+                    assert!(d.apn.matches_keyword("centrica"));
+                    has_data = true;
+                }
+                SimEvent::Voice(_) => panic!("voice disabled"),
+            }
+        }
+        assert!(has_sig && has_data);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(vec![meter_spec(1), meter_spec(2)], 5);
+        let b = run(vec![meter_spec(1), meter_spec(2)], 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sticky_failure_device_never_succeeds() {
+        let mut spec = meter_spec(3);
+        spec.sticky_failure = Some(ProcedureResult::UnknownSubscription);
+        let events = run(vec![spec], 5);
+        assert!(!events.is_empty());
+        for e in &events {
+            match e {
+                SimEvent::Signaling(s) => {
+                    assert_eq!(s.result, ProcedureResult::UnknownSubscription)
+                }
+                _ => panic!("a failing device must not move data/voice"),
+            }
+        }
+    }
+
+    #[test]
+    fn camped_device_does_not_reattach() {
+        // With zero switch propensity, no re-registrations and full
+        // coverage, exactly one successful attach (Auth+UL pair) happens;
+        // everything else is RAU.
+        let mut spec = meter_spec(4);
+        spec.traffic.reauth_fraction = 0.0;
+        let events = run(vec![spec], 7);
+        let auths = events
+            .iter()
+            .filter(|e| {
+                matches!(e, SimEvent::Signaling(s) if s.procedure == ProcedureType::Authentication)
+            })
+            .count();
+        assert_eq!(auths, 1, "device should attach once and stay camped");
+        let cancels = events
+            .iter()
+            .filter(|e| {
+                matches!(e, SimEvent::Signaling(s) if s.procedure == ProcedureType::CancelLocation)
+            })
+            .count();
+        assert_eq!(cancels, 0);
+    }
+
+    #[test]
+    fn forced_switching_produces_cancel_location() {
+        let mut spec = meter_spec(5);
+        spec.switch_propensity = 1.0; // every event reselects
+        let events = run(vec![spec], 7);
+        let cancels = events
+            .iter()
+            .filter(|e| {
+                matches!(e, SimEvent::Signaling(s) if s.procedure == ProcedureType::CancelLocation)
+            })
+            .count();
+        assert!(cancels > 0, "constant reselection must produce switches");
+        // Both UK networks must have been used.
+        let visited: std::collections::HashSet<Plmn> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Signaling(s) if s.result.is_ok() => Some(s.visited),
+                _ => None,
+            })
+            .collect();
+        assert!(visited.contains(&MNO) && visited.contains(&OTHER));
+    }
+
+    #[test]
+    fn presence_window_bounds_activity() {
+        let mut spec = meter_spec(6);
+        spec.presence = PresenceModel {
+            first_day: 2,
+            last_day: 4,
+            daily_active_prob: 1.0,
+        };
+        let events = run(vec![spec], 7);
+        assert!(!events.is_empty());
+        for e in &events {
+            let d = e.time().day().0;
+            assert!((2..4).contains(&d), "event on day {d}");
+        }
+    }
+
+    #[test]
+    fn itinerary_changes_country_and_network() {
+        let es_geom = CountryGeometry::of(Country::by_iso("ES").unwrap());
+        let mut dir = directory();
+        dir.add(
+            "ES",
+            RadioNetwork::new(
+                Plmn::of(214, 7),
+                RatSet::CONVENTIONAL,
+                es_geom,
+                GridSpacing::default(),
+                CoverageFaults::NONE,
+            ),
+        );
+        let mut spec = meter_spec(7);
+        spec.vertical = Vertical::ConnectedCar;
+        spec.traffic = TrafficProfile::for_vertical(Vertical::ConnectedCar);
+        spec.radio_caps = RatSet::CONVENTIONAL;
+        spec.itinerary = vec![
+            ItineraryLeg {
+                from_day: 0,
+                country_iso: "GB".into(),
+                mobility: MobilityModel::stationary_in(&uk_geom(), 7),
+            },
+            ItineraryLeg {
+                from_day: 3,
+                country_iso: "ES".into(),
+                mobility: MobilityModel::stationary_in(&es_geom, 7),
+            },
+        ];
+        let world = RoamingWorld::new(dir, Box::new(AllowAllPolicy), VecSink::default(), 99);
+        let mut engine = Engine::new(world, SimTime::from_secs(6 * 86_400));
+        engine.add_agent(DeviceAgent::new(spec, 99));
+        let events = engine.run().sink.events;
+        let countries: std::collections::HashSet<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Signaling(s) if s.result.is_ok() => Some(s.visited.mcc.value()),
+                _ => None,
+            })
+            .collect();
+        assert!(countries.contains(&234), "no UK activity");
+        assert!(countries.contains(&214), "no ES activity after the move");
+    }
+
+    #[test]
+    fn leg_at_selects_correct_segment() {
+        let spec = {
+            let mut s = meter_spec(8);
+            s.itinerary = vec![
+                ItineraryLeg {
+                    from_day: 0,
+                    country_iso: "GB".into(),
+                    mobility: MobilityModel::stationary_in(&uk_geom(), 1),
+                },
+                ItineraryLeg {
+                    from_day: 5,
+                    country_iso: "ES".into(),
+                    mobility: MobilityModel::stationary_in(&uk_geom(), 2),
+                },
+            ];
+            s
+        };
+        assert_eq!(spec.leg_at(Day(0)).country_iso, "GB");
+        assert_eq!(spec.leg_at(Day(4)).country_iso, "GB");
+        assert_eq!(spec.leg_at(Day(5)).country_iso, "ES");
+        assert_eq!(spec.leg_at(Day(9)).country_iso, "ES");
+        assert_eq!(spec.countries_visited(), 2);
+    }
+
+    #[test]
+    fn daily_active_prob_thins_activity() {
+        let mut always = meter_spec(9);
+        always.presence = PresenceModel::always(14);
+        let mut flaky = meter_spec(9);
+        flaky.presence = PresenceModel {
+            first_day: 0,
+            last_day: 14,
+            daily_active_prob: 0.3,
+        };
+        let active_days = |events: &[SimEvent]| {
+            events
+                .iter()
+                .map(|e| e.time().day().0)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let a = active_days(&run(vec![always], 14));
+        let f = active_days(&run(vec![flaky], 14));
+        assert_eq!(a, 14);
+        assert!(f < 12, "flaky device active {f}/14 days");
+    }
+}

@@ -1,0 +1,246 @@
+//! The discrete-event core: an event queue of agent wake-ups.
+//!
+//! Deliberately minimal (smoltcp's "simplicity and robustness" anti-macro
+//! ethos): the engine knows nothing about devices or networks. Agents
+//! schedule `(time, tag)` wake-ups for themselves; the engine dispatches
+//! them in strict `(time, sequence)` order, giving a total order that makes
+//! every run bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wtr_model::time::SimTime;
+
+/// Index of an agent within an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(pub u32);
+
+/// Agent-defined discriminator carried by a wake-up, so one agent can
+/// distinguish e.g. "periodic report" from "departure" wake-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WakeTag(pub u32);
+
+/// The scheduling interface handed to agents.
+///
+/// Only self-scheduling is exposed: an agent cannot wake another agent,
+/// which keeps agent interactions flowing through the world state `W` and
+/// the dispatch order deterministic.
+#[derive(Debug)]
+pub struct Scheduler {
+    now: SimTime,
+    horizon: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, u32, u32)>>,
+}
+
+impl Scheduler {
+    fn new(horizon: SimTime) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            horizon,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// End of the simulation window; wake-ups at or beyond it are dropped.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedules a wake-up for `agent` at `at`. Wake-ups in the past are a
+    /// bug in the agent; they are debug-asserted and skipped in release.
+    pub fn wake_at(&mut self, agent: AgentId, tag: WakeTag, at: SimTime) {
+        debug_assert!(at >= self.now, "agent scheduled a wake-up in the past");
+        if at < self.now || at >= self.horizon {
+            return;
+        }
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, agent.0, tag.0)));
+    }
+
+    /// Number of pending wake-ups.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A simulation actor. `W` is the shared world (radio networks, policy,
+/// event sink) every agent reads and writes during its turn.
+pub trait Agent<W> {
+    /// Called once before the run starts; schedule the first wake-up here.
+    fn init(&mut self, id: AgentId, world: &mut W, sched: &mut Scheduler);
+
+    /// Called at each scheduled wake-up.
+    fn wake(&mut self, id: AgentId, tag: WakeTag, world: &mut W, sched: &mut Scheduler);
+}
+
+/// The event loop: owns the agents, the world, and the queue.
+pub struct Engine<W, A> {
+    agents: Vec<A>,
+    world: W,
+    sched: Scheduler,
+    dispatched: u64,
+}
+
+impl<W, A: Agent<W>> Engine<W, A> {
+    /// Creates an engine over `world` running until `horizon`.
+    pub fn new(world: W, horizon: SimTime) -> Self {
+        Engine {
+            agents: Vec::new(),
+            world,
+            sched: Scheduler::new(horizon),
+            dispatched: 0,
+        }
+    }
+
+    /// Adds an agent (before [`Engine::run`]); returns its id.
+    pub fn add_agent(&mut self, agent: A) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(agent);
+        id
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Total wake-ups dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Runs to completion: initializes every agent, then dispatches
+    /// wake-ups in time order until the queue drains or the horizon is
+    /// reached. Returns the world (with whatever the agents produced).
+    pub fn run(mut self) -> W {
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            agent.init(AgentId(i as u32), &mut self.world, &mut self.sched);
+        }
+        while let Some(Reverse((at, _seq, agent, tag))) = self.sched.queue.pop() {
+            self.sched.now = at;
+            self.dispatched += 1;
+            self.agents[agent as usize].wake(
+                AgentId(agent),
+                WakeTag(tag),
+                &mut self.world,
+                &mut self.sched,
+            );
+        }
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::time::SimDuration;
+
+    /// World for tests: a log of (time, agent, tag).
+    type Log = Vec<(SimTime, u32, u32)>;
+
+    /// Agent that wakes every `period` seconds and logs.
+    struct Ticker {
+        period: u64,
+    }
+
+    impl Agent<Log> for Ticker {
+        fn init(&mut self, id: AgentId, _world: &mut Log, sched: &mut Scheduler) {
+            sched.wake_at(id, WakeTag(0), SimTime::from_secs(self.period));
+        }
+        fn wake(&mut self, id: AgentId, tag: WakeTag, world: &mut Log, sched: &mut Scheduler) {
+            world.push((sched.now(), id.0, tag.0));
+            sched.wake_at(id, tag, sched.now() + SimDuration::from_secs(self.period));
+        }
+    }
+
+    #[test]
+    fn dispatch_in_time_order() {
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(100));
+        engine.add_agent(Ticker { period: 30 });
+        engine.add_agent(Ticker { period: 20 });
+        let log = engine.run();
+        let times: Vec<u64> = log.iter().map(|(t, _, _)| t.as_secs()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // Ticker 1 (20s): 20,40,60,80; Ticker 0 (30s): 30,60,90.
+        assert_eq!(log.len(), 7);
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(60));
+        engine.add_agent(Ticker { period: 20 });
+        let log = engine.run();
+        // Wake at 60 dropped: only 20 and 40 fire.
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|(t, _, _)| t.as_secs() < 60));
+    }
+
+    #[test]
+    fn ties_dispatch_in_schedule_order() {
+        struct Once {
+            at: u64,
+        }
+        impl Agent<Log> for Once {
+            fn init(&mut self, id: AgentId, _w: &mut Log, s: &mut Scheduler) {
+                s.wake_at(id, WakeTag(id.0), SimTime::from_secs(self.at));
+            }
+            fn wake(&mut self, id: AgentId, tag: WakeTag, w: &mut Log, s: &mut Scheduler) {
+                w.push((s.now(), id.0, tag.0));
+            }
+        }
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(100));
+        for _ in 0..5 {
+            engine.add_agent(Once { at: 50 });
+        }
+        let log = engine.run();
+        let order: Vec<u32> = log.iter().map(|(_, a, _)| *a).collect();
+        assert_eq!(
+            order,
+            vec![0, 1, 2, 3, 4],
+            "tie-break must follow insertion order"
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = || {
+            let mut engine = Engine::new(Log::new(), SimTime::from_secs(500));
+            engine.add_agent(Ticker { period: 7 });
+            engine.add_agent(Ticker { period: 13 });
+            engine.add_agent(Ticker { period: 29 });
+            engine.run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_engine_terminates() {
+        let engine: Engine<Log, Ticker> = Engine::new(Log::new(), SimTime::from_secs(10));
+        let log = engine.run();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn dispatched_counter() {
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(100));
+        engine.add_agent(Ticker { period: 25 });
+        let expected = 3; // 25, 50, 75 (100 dropped)
+        let mut count = 0u64;
+        let log = engine.run();
+        count += log.len() as u64;
+        assert_eq!(count, expected);
+    }
+}

@@ -1,0 +1,318 @@
+//! Observable simulation output: signaling, data and voice events.
+//!
+//! These are the *raw truth* of the simulation — richer than what any probe
+//! is allowed to see. The probes crate converts them into the paper's
+//! record schemas (anonymized IDs, no ground truth), enforcing the same
+//! information boundary the real measurement infrastructure has.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wtr_model::apn::Apn;
+use wtr_model::ids::{Imei, Imsi, Plmn};
+use wtr_model::rat::Rat;
+use wtr_model::time::SimTime;
+use wtr_radio::sector::SectorId;
+
+/// Control-plane procedure types.
+///
+/// The M2M dataset's message types are "either authentication, update
+/// location or cancel location" (§3.1); the MNO-side SMIP analysis also
+/// observes "Attach, Routing Area Update, and Detach" procedures (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcedureType {
+    /// Initial attach to a network.
+    Attach,
+    /// Subscriber authentication against the HSS/AuC.
+    Authentication,
+    /// HLR/HSS location update (the roaming workhorse).
+    UpdateLocation,
+    /// HSS ordering the old network to drop the subscriber.
+    CancelLocation,
+    /// Periodic / mobility routing-area (or tracking-area) update.
+    RoutingAreaUpdate,
+    /// Detach from the network.
+    Detach,
+}
+
+impl ProcedureType {
+    /// All procedure types.
+    pub const ALL: [ProcedureType; 6] = [
+        ProcedureType::Attach,
+        ProcedureType::Authentication,
+        ProcedureType::UpdateLocation,
+        ProcedureType::CancelLocation,
+        ProcedureType::RoutingAreaUpdate,
+        ProcedureType::Detach,
+    ];
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProcedureType::Attach => "attach",
+            ProcedureType::Authentication => "authentication",
+            ProcedureType::UpdateLocation => "update-location",
+            ProcedureType::CancelLocation => "cancel-location",
+            ProcedureType::RoutingAreaUpdate => "routing-area-update",
+            ProcedureType::Detach => "detach",
+        }
+    }
+}
+
+impl fmt::Display for ProcedureType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Procedure outcome — the paper's "message result" field (§3.1/§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcedureResult {
+    /// Success.
+    Ok,
+    /// The visited network rejects roaming for this subscriber
+    /// (no agreement, or roaming barred).
+    RoamingNotAllowed,
+    /// The HSS does not recognize the subscription.
+    UnknownSubscription,
+    /// The requested feature (e.g. 4G data for a 2G-only plan) is
+    /// unsupported.
+    FeatureUnsupported,
+    /// Transient network failure (congestion, timeouts).
+    NetworkFailure,
+}
+
+impl ProcedureResult {
+    /// All results.
+    pub const ALL: [ProcedureResult; 5] = [
+        ProcedureResult::Ok,
+        ProcedureResult::RoamingNotAllowed,
+        ProcedureResult::UnknownSubscription,
+        ProcedureResult::FeatureUnsupported,
+        ProcedureResult::NetworkFailure,
+    ];
+
+    /// Whether the procedure succeeded.
+    pub const fn is_ok(self) -> bool {
+        matches!(self, ProcedureResult::Ok)
+    }
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ProcedureResult::Ok => "OK",
+            ProcedureResult::RoamingNotAllowed => "RoamingNotAllowed",
+            ProcedureResult::UnknownSubscription => "UnknownSubscription",
+            ProcedureResult::FeatureUnsupported => "FeatureUnsupported",
+            ProcedureResult::NetworkFailure => "NetworkFailure",
+        }
+    }
+}
+
+impl fmt::Display for ProcedureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One control-plane transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalingEvent {
+    /// When the procedure ran.
+    pub time: SimTime,
+    /// Scenario-local device index (raw; probes anonymize it).
+    pub device: u64,
+    /// The SIM involved.
+    pub imsi: Imsi,
+    /// The equipment involved.
+    pub imei: Imei,
+    /// Network the device is attached to / attaching to.
+    pub visited: Plmn,
+    /// Serving sector (None when the attempt never reached radio
+    /// service, e.g. a coverage hole probe).
+    pub sector: Option<SectorId>,
+    /// RAT the procedure ran on.
+    pub rat: Rat,
+    /// Procedure type.
+    pub procedure: ProcedureType,
+    /// Outcome.
+    pub result: ProcedureResult,
+}
+
+/// Kind of circuit-switched activity.
+///
+/// "We use voice services in a broad sense, as M2M devices do not make
+/// phone calls, but can use communications similar to SMS" (§6.1 fn. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoiceKind {
+    /// A real phone call with a duration.
+    Call,
+    /// An SMS-like short transaction.
+    SmsLike,
+}
+
+/// One voice-plane record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoiceCall {
+    /// Start time.
+    pub time: SimTime,
+    /// Scenario-local device index.
+    pub device: u64,
+    /// The SIM involved.
+    pub imsi: Imsi,
+    /// The equipment involved.
+    pub imei: Imei,
+    /// Serving network.
+    pub visited: Plmn,
+    /// Serving sector.
+    pub sector: SectorId,
+    /// RAT used.
+    pub rat: Rat,
+    /// Call vs SMS-like.
+    pub kind: VoiceKind,
+    /// Call duration in seconds (0 for SMS-like).
+    pub duration_secs: u32,
+}
+
+/// One data-plane session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSession {
+    /// Start time.
+    pub time: SimTime,
+    /// Scenario-local device index.
+    pub device: u64,
+    /// The SIM involved.
+    pub imsi: Imsi,
+    /// The equipment involved.
+    pub imei: Imei,
+    /// Serving network.
+    pub visited: Plmn,
+    /// Serving sector.
+    pub sector: SectorId,
+    /// RAT used.
+    pub rat: Rat,
+    /// APN the session was established on.
+    pub apn: Apn,
+    /// Session duration in seconds.
+    pub duration_secs: u32,
+    /// Uplink bytes.
+    pub bytes_up: u64,
+    /// Downlink bytes.
+    pub bytes_down: u64,
+}
+
+impl DataSession {
+    /// Total bytes both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+/// Any observable simulation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// Control-plane transaction.
+    Signaling(SignalingEvent),
+    /// Data session.
+    Data(DataSession),
+    /// Voice/SMS activity.
+    Voice(VoiceCall),
+}
+
+impl SimEvent {
+    /// Event timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            SimEvent::Signaling(e) => e.time,
+            SimEvent::Data(e) => e.time,
+            SimEvent::Voice(e) => e.time,
+        }
+    }
+
+    /// Scenario-local device index.
+    pub fn device(&self) -> u64 {
+        match self {
+            SimEvent::Signaling(e) => e.device,
+            SimEvent::Data(e) => e.device,
+            SimEvent::Voice(e) => e.device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_ok_predicate() {
+        assert!(ProcedureResult::Ok.is_ok());
+        for r in ProcedureResult::ALL {
+            if r != ProcedureResult::Ok {
+                assert!(!r.is_ok(), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        // §3.1 names these results verbatim.
+        assert_eq!(ProcedureResult::Ok.label(), "OK");
+        assert_eq!(
+            ProcedureResult::RoamingNotAllowed.label(),
+            "RoamingNotAllowed"
+        );
+        assert_eq!(
+            ProcedureResult::UnknownSubscription.label(),
+            "UnknownSubscription"
+        );
+        assert_eq!(ProcedureType::UpdateLocation.label(), "update-location");
+    }
+
+    #[test]
+    fn data_session_total() {
+        let apn: Apn = "internet".parse().unwrap();
+        let s = DataSession {
+            time: SimTime::ZERO,
+            device: 0,
+            imsi: Imsi::new(Plmn::of(234, 30), 1).unwrap(),
+            imei: Imei::new(wtr_model::ids::Tac::new(35_000_000).unwrap(), 1).unwrap(),
+            visited: Plmn::of(234, 30),
+            sector: sample_sector(),
+            rat: Rat::G4,
+            apn,
+            duration_secs: 60,
+            bytes_up: 100,
+            bytes_down: 900,
+        };
+        assert_eq!(s.bytes_total(), 1_000);
+    }
+
+    fn sample_sector() -> SectorId {
+        use wtr_model::country::Country;
+        use wtr_radio::geo::{CountryGeometry, GeoPoint};
+        use wtr_radio::sector::{GridSpacing, SectorGrid};
+        let g = SectorGrid::new(
+            Plmn::of(234, 30),
+            CountryGeometry::of(Country::by_iso("GB").unwrap()),
+            GridSpacing::default(),
+        );
+        g.sector_at(GeoPoint::new(52.0, -1.0), Rat::G4)
+    }
+
+    #[test]
+    fn sim_event_accessors() {
+        let e = SignalingEvent {
+            time: SimTime::from_secs(5),
+            device: 42,
+            imsi: Imsi::new(Plmn::of(214, 7), 9).unwrap(),
+            imei: Imei::new(wtr_model::ids::Tac::new(35_000_001).unwrap(), 2).unwrap(),
+            visited: Plmn::of(234, 30),
+            sector: None,
+            rat: Rat::G2,
+            procedure: ProcedureType::Attach,
+            result: ProcedureResult::RoamingNotAllowed,
+        };
+        let ev = SimEvent::Signaling(e);
+        assert_eq!(ev.time().as_secs(), 5);
+        assert_eq!(ev.device(), 42);
+    }
+}

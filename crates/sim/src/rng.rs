@@ -1,0 +1,256 @@
+//! Deterministic RNG substreams and long-tail sampling helpers.
+//!
+//! One master seed drives the whole simulation. Every device derives its
+//! own independent substream with [`SubstreamRng::derive`], so adding or
+//! removing devices never perturbs another device's trace. Sampling helpers
+//! wrap the `rand_distr` distributions the scenario calibration needs —
+//! the paper's per-device signaling counts are heavily long-tailed
+//! ("average load of 267 signaling records … a very small fraction of IoT
+//! devices flooding the signaling network with as many as 130,000
+//! messages", §3.3), which LogNormal captures well.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal};
+use wtr_model::hash::mix64;
+
+/// A deterministic RNG derived from a master seed plus a stream selector.
+#[derive(Debug, Clone)]
+pub struct SubstreamRng {
+    inner: SmallRng,
+}
+
+impl SubstreamRng {
+    /// Derives the substream `(seed, stream)`. Identical inputs always
+    /// yield identical streams.
+    pub fn derive(master_seed: u64, stream: u64) -> Self {
+        let s = mix64(master_seed ^ mix64(stream).rotate_left(17));
+        SubstreamRng {
+            inner: SmallRng::seed_from_u64(s),
+        }
+    }
+
+    /// Access to the underlying RNG for use with `rand` APIs.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be > 0.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// LogNormal sample with the given *median* and `sigma` (shape).
+    ///
+    /// Parameterizing by median (`exp(mu)`) keeps calibration intuitive:
+    /// the paper reports medians for most per-device distributions.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0 && sigma >= 0.0);
+        let d = LogNormal::new(median.ln(), sigma).expect("valid lognormal");
+        d.sample(&mut self.inner)
+    }
+
+    /// Exponential inter-arrival sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let d = Exp::new(1.0 / mean).expect("valid exp");
+        d.sample(&mut self.inner)
+    }
+
+    /// Poisson-distributed count with the given mean (inversion by
+    /// exponential gaps; exact for the small means used per day).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        // For large means use a normal approximation to stay O(1).
+        if mean > 64.0 {
+            let sample: f64 = rand_distr::Normal::new(mean, mean.sqrt())
+                .expect("valid normal")
+                .sample(&mut self.inner);
+            return sample.max(0.0).round() as u64;
+        }
+        let mut count = 0u64;
+        let mut acc = 0.0f64;
+        loop {
+            acc += self.exponential(1.0);
+            if acc > mean {
+                return count;
+            }
+            count += 1;
+        }
+    }
+
+    /// Samples an index according to `weights` (need not be normalized;
+    /// all zero/empty weights fall back to index 0).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || weights.is_empty() {
+            return 0;
+        }
+        let mut x = self.inner.random::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Zipf-like weights for a ranked popularity distribution of `n` items
+    /// with exponent `s` (used for home-country and visited-country skews,
+    /// e.g. "top 3 accounting for about 60%", Fig. 5).
+    pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+        (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substreams_are_deterministic() {
+        let mut a = SubstreamRng::derive(42, 7);
+        let mut b = SubstreamRng::derive(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.rng().random::<u64>(), b.rng().random::<u64>());
+        }
+    }
+
+    #[test]
+    fn substreams_are_independent() {
+        // Device 7's stream must not change when derived next to any other.
+        let seq: Vec<u64> = {
+            let mut r = SubstreamRng::derive(42, 7);
+            (0..10).map(|_| r.rng().random()).collect()
+        };
+        let _other = SubstreamRng::derive(42, 8);
+        let seq2: Vec<u64> = {
+            let mut r = SubstreamRng::derive(42, 7);
+            (0..10).map(|_| r.rng().random()).collect()
+        };
+        assert_eq!(seq, seq2);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = SubstreamRng::derive(42, 1);
+        let mut b = SubstreamRng::derive(42, 2);
+        let av: Vec<u64> = (0..8).map(|_| a.rng().random()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.rng().random()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SubstreamRng::derive(1, 1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn lognormal_median_calibration() {
+        let mut r = SubstreamRng::derive(9, 9);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| r.lognormal(100.0, 1.5)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!(
+            (70.0..140.0).contains(&median),
+            "median {median} far from target 100"
+        );
+    }
+
+    #[test]
+    fn lognormal_has_long_tail() {
+        let mut r = SubstreamRng::derive(3, 3);
+        let samples: Vec<f64> = (0..20_000).map(|_| r.lognormal(100.0, 1.8)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Mean well above median, max orders of magnitude above mean —
+        // the §3.3 shape.
+        assert!(mean > 200.0, "mean {mean}");
+        assert!(max > mean * 20.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut r = SubstreamRng::derive(5, 5);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.poisson(3.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((3.3..3.7).contains(&mean), "mean {mean}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_approximation() {
+        let mut r = SubstreamRng::derive(6, 6);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| r.poisson(200.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((190.0..210.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SubstreamRng::derive(8, 8);
+        let weights = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 5);
+    }
+
+    #[test]
+    fn weighted_index_degenerate_cases() {
+        let mut r = SubstreamRng::derive(8, 9);
+        assert_eq!(r.weighted_index(&[]), 0);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn zipf_weights_are_skewed() {
+        let w = SubstreamRng::zipf_weights(20, 1.2);
+        let total: f64 = w.iter().sum();
+        let top3: f64 = w[..3].iter().sum();
+        let share = top3 / total;
+        assert!(
+            (0.45..0.75).contains(&share),
+            "top-3 share {share} (Fig. 5 targets ≈0.6)"
+        );
+    }
+}

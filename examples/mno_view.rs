@@ -1,0 +1,176 @@
+//! The §4–§6 view: a visited MNO characterizes its device population.
+//!
+//! Runs the MNO scenario, then walks the paper's full analysis chain:
+//! roaming labels (§4.2), classification (§4.3), class × label structure
+//! (Fig. 6), activity and mobility (Fig. 7/8), RAT usage (Fig. 9) and
+//! traffic volumes (Fig. 10) — including the baseline comparison of §4.3.
+//!
+//! ```sh
+//! cargo run --release --example mno_view
+//! ```
+
+use where_things_roam::core::analysis::activity::{self, StatusGroup};
+use where_things_roam::core::analysis::population;
+use where_things_roam::core::analysis::rat_usage::{self, Plane};
+use where_things_roam::core::analysis::traffic::{self, TrafficMetric};
+use where_things_roam::core::baseline;
+use where_things_roam::core::classify::{Classifier, DeviceClass};
+use where_things_roam::core::report;
+use where_things_roam::core::summary::summarize;
+use where_things_roam::core::validate::validate;
+use where_things_roam::model::roaming::RoamingLabel;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+
+fn main() {
+    let output = MnoScenario::new(MnoScenarioConfig {
+        devices: 6_000,
+        days: 22,
+        seed: 3,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let summaries = summarize(&output.catalog);
+    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+
+    // §4.2 — roaming labels.
+    let labels = population::label_shares(&output.catalog);
+    println!("daily roaming-label shares (§4.2):");
+    for label in RoamingLabel::ALL {
+        if let Some(share) = labels.overall.get(&label) {
+            println!(
+                "  {label}  {:>5.1}%  {}",
+                share * 100.0,
+                report::bar(*share, 30)
+            );
+        }
+    }
+
+    // Fig. 6 — class × label.
+    let breakdown = population::class_label_breakdown(&summaries, &classification);
+    print!(
+        "\n{}",
+        report::heatmap_row_normalized("device class × roaming label (Fig. 6)", &breakdown.table)
+    );
+    println!(
+        "of international inbound roamers, {:.1}% are M2M (paper: 71.1%)",
+        breakdown.share_of_label(DeviceClass::M2m, RoamingLabel::IH) * 100.0
+    );
+
+    // Fig. 7 — active days, inbound roamers.
+    let pairs = [
+        (DeviceClass::M2m, StatusGroup::InboundRoaming),
+        (DeviceClass::Smart, StatusGroup::InboundRoaming),
+    ];
+    let days = activity::active_days(&summaries, &classification, &pairs);
+    println!(
+        "\nactive days (Fig. 7): inbound m2m median {:.0}, inbound smart median {:.0}",
+        days[0].days.median().unwrap_or(0.0),
+        days[1].days.median().unwrap_or(0.0)
+    );
+
+    // Fig. 8 — gyration.
+    let gyr = activity::gyration(&summaries, &classification, &pairs);
+    println!(
+        "gyration (Fig. 8): {:.1}% of inbound m2m under 1 km; inbound smart median {:.1} km",
+        gyr[0].gyration_km.fraction_at_or_below(1.0) * 100.0,
+        gyr[1].gyration_km.median().unwrap_or(0.0)
+    );
+
+    // Fig. 9 — RAT usage.
+    println!("\nRAT usage (Fig. 9), m2m class:");
+    for plane in [Plane::Any, Plane::Data, Plane::Voice] {
+        let usage = rat_usage::rat_usage(&summaries, &classification, &[DeviceClass::M2m], plane);
+        let mut cats: Vec<(&String, &f64)> = usage[0].shares.iter().collect();
+        cats.sort_by(|a, b| b.1.total_cmp(a.1));
+        let top: Vec<String> = cats
+            .iter()
+            .take(3)
+            .map(|(k, v)| format!("{k} {:.0}%", **v * 100.0))
+            .collect();
+        println!("  {:<12} {}", plane.label(), top.join(", "));
+    }
+
+    // Fig. 10 — traffic volumes.
+    let all_pairs = [
+        (DeviceClass::M2m, StatusGroup::InboundRoaming),
+        (DeviceClass::Smart, StatusGroup::Native),
+        (DeviceClass::Smart, StatusGroup::InboundRoaming),
+    ];
+    let bytes = traffic::traffic_dist(
+        &summaries,
+        &classification,
+        &all_pairs,
+        TrafficMetric::BytesPerDay,
+    );
+    println!("\ndata per device-day (Fig. 10-right, medians):");
+    for d in &bytes {
+        println!(
+            "  {:<6} {:<16} {:>12.0} B",
+            d.class.label(),
+            d.status.label(),
+            d.dist.median().unwrap_or(0.0)
+        );
+    }
+
+    // Extension E21 — who pays for the network they use?
+    let econ = where_things_roam::core::analysis::revenue::inbound_economics(
+        &summaries,
+        &classification,
+        where_things_roam::core::analysis::revenue::RateCard::default(),
+    );
+    println!("\ninbound roaming economics (extension E21):");
+    for e in &econ {
+        println!(
+            "  {:<10} load {:>5.1}%  revenue {:>5.1}%  median €{:.4}/device",
+            e.class.label(),
+            e.load_share * 100.0,
+            e.revenue_share * 100.0,
+            e.revenue_median_per_device
+        );
+    }
+
+    // Extension E22 — machine vs human diurnal shapes.
+    let profiles = where_things_roam::core::analysis::diurnal::profiles(
+        &summaries,
+        &classification,
+        &[DeviceClass::M2m, DeviceClass::Smart],
+    );
+    println!("\ndiurnal shapes (extension E22):");
+    for p in &profiles {
+        println!(
+            "  {:<6} night share {:>5.1}%  peak/trough {:>5.1}x",
+            p.class.label(),
+            p.night_share * 100.0,
+            p.peak_to_trough
+        );
+    }
+
+    // §4.3 — pipeline vs baselines, scored against hidden ground truth.
+    let truth: std::collections::HashMap<u64, _> = summaries
+        .iter()
+        .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
+        .collect();
+    println!("\nclassifier comparison (m2m precision / recall):");
+    for (name, c) in [
+        ("full pipeline", classification.clone()),
+        (
+            "vendor-only baseline",
+            baseline::vendor_baseline(&output.tacdb, &summaries),
+        ),
+        (
+            "APN-only baseline",
+            baseline::apn_only_baseline(&output.tacdb, &summaries),
+        ),
+    ] {
+        let v = validate(&c, &truth);
+        println!(
+            "  {:<22} {:>5.1}% / {:>5.1}%",
+            name,
+            v.m2m_precision.unwrap_or(0.0) * 100.0,
+            v.m2m_recall.unwrap_or(0.0) * 100.0
+        );
+    }
+}

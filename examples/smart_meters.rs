@@ -1,0 +1,118 @@
+//! The §7 view: smart energy meters, native vs roaming, and the
+//! meters-vs-connected-cars contrast.
+//!
+//! Identifies SMIP-native meters through the operator's dedicated IMSI
+//! range and SMIP-roaming meters through energy-company APN patterns,
+//! verifies the paper's §4.4 fingerprints (single Dutch home operator,
+//! Gemalto/Telit module hardware), and reproduces the Fig. 11 / Fig. 12
+//! comparisons.
+//!
+//! ```sh
+//! cargo run --release --example smart_meters
+//! ```
+
+use where_things_roam::core::analysis::{smip, verticals};
+use where_things_roam::core::classify::Classifier;
+use where_things_roam::core::report;
+use where_things_roam::core::summary::summarize;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+
+fn main() {
+    let output = MnoScenario::new(MnoScenarioConfig {
+        devices: 6_000,
+        days: 22,
+        seed: 4,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let summaries = summarize(&output.catalog);
+    // The classifier runs first in a real deployment; here we only need
+    // its side effects on the summaries, so run it for the printout.
+    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    println!(
+        "population: {} devices, {} classified m2m",
+        summaries.len(),
+        classification
+            .counts()
+            .get(&where_things_roam::core::classify::DeviceClass::M2m)
+            .copied()
+            .unwrap_or(0)
+    );
+
+    // §4.4 — identify the two SMIP populations.
+    let pop = smip::identify(&summaries, &output.tacdb);
+    println!(
+        "\nSMIP identification: {} native (dedicated IMSI range), {} roaming (energy APNs)",
+        pop.native.len(),
+        pop.roaming.len()
+    );
+    println!("  energy APN patterns matched: {:?}", pop.matched_patterns);
+    println!(
+        "  roaming meters' home operators: {} (paper: exactly one, Dutch)",
+        pop.roaming_home_plmns.len()
+    );
+    println!(
+        "  roaming meters' hardware vendors: {:?} (paper: Gemalto and Telit)",
+        pop.roaming_vendors
+    );
+
+    // Fig. 11 — activity and signaling.
+    let native = smip::group_stats(&summaries, &pop.native, output.days);
+    let roaming = smip::group_stats(&summaries, &pop.roaming, output.days);
+    print!(
+        "\n{}",
+        report::cdf(
+            "native meters: active days (Fig. 11-left)",
+            &native.active_days,
+            6
+        )
+    );
+    print!(
+        "{}",
+        report::cdf(
+            "roaming meters: active days (Fig. 11-left)",
+            &roaming.active_days,
+            6
+        )
+    );
+    println!(
+        "native meters active the whole window: {:.1}% (day-1 cohort shown in paper: 83%)",
+        native.full_period_fraction * 100.0
+    );
+    println!(
+        "signaling per device-day: roaming {:.1} vs native {:.1} (paper: ~10x)",
+        roaming.signaling_per_day.mean().unwrap_or(0.0),
+        native.signaling_per_day.mean().unwrap_or(0.0)
+    );
+    println!(
+        "devices with failed signaling: native {:.1}%, roaming {:.1}% (paper: 10% vs 35%)",
+        native.failed_device_fraction * 100.0,
+        roaming.failed_device_fraction * 100.0
+    );
+    println!("RAT usage: native {:?}", native.rat_categories);
+    println!("           roaming {:?}", roaming.rat_categories);
+
+    // Fig. 12 — meters vs connected cars.
+    let (cars, meters) = verticals::compare(&summaries);
+    println!(
+        "\nverticals (Fig. 12): {} connected cars vs {} smart meters (inbound roaming)",
+        cars.devices, meters.devices
+    );
+    println!(
+        "  {:<18} {:>12} {:>16} {:>14}",
+        "", "gyration", "signaling/day", "bytes/day"
+    );
+    for p in [&cars, &meters] {
+        println!(
+            "  {:<18} {:>9.1} km {:>16.1} {:>14.0}",
+            p.name,
+            p.gyration_km.median().unwrap_or(0.0),
+            p.signaling_per_day.median().unwrap_or(0.0),
+            p.bytes_per_day.median().unwrap_or(0.0)
+        );
+    }
+    println!("\ncars behave like roaming smartphones; meters are stationary and silent — Fig. 12's contrast.");
+}

@@ -1,0 +1,90 @@
+//! What-if studies from the paper's discussion (§8): where does the
+//! ecosystem go after 2019?
+//!
+//! Three levers, composed:
+//!
+//! 1. **GSMA transparency** (§1): roaming partners publish their dedicated
+//!    M2M IMSI ranges, removing the need for inference on compliant SIMs.
+//! 2. **NB-IoT migration** (§8): meter fleets move from 2G modules to
+//!    LPWA radios, becoming RAT-identifiable.
+//! 3. **2G sunset** (§6.1/§8): the visited country retires 2G — fatal for
+//!    a fleet the paper measures as 77.4% 2G-only, survivable after the
+//!    migration.
+//!
+//! ```sh
+//! cargo run --release --example whatif
+//! ```
+
+use where_things_roam::core::classify::Classifier;
+use where_things_roam::core::summary::summarize;
+use where_things_roam::core::validate::validate;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+
+struct Outcome {
+    label: &'static str,
+    visible_m2m: usize,
+    recall: f64,
+    rat_detected: usize,
+    range_detected: usize,
+}
+
+fn simulate(label: &'static str, nbiot: f64, sunset: bool, transparency: bool) -> Outcome {
+    let output = MnoScenario::new(MnoScenarioConfig {
+        devices: 3_000,
+        days: 14,
+        seed: 12,
+        nbiot_meter_fraction: nbiot,
+        sunset_2g_uk: sunset,
+        gsma_transparency: transparency,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let summaries = summarize(&output.catalog);
+    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    let truth: std::collections::HashMap<_, _> = summaries
+        .iter()
+        .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
+        .collect();
+    let visible_m2m = truth.values().filter(|v| v.is_m2m()).count();
+    let v = validate(&classification, &truth);
+    Outcome {
+        label,
+        visible_m2m,
+        recall: v.m2m_recall.unwrap_or(0.0),
+        rat_detected: classification.nbiot_detected,
+        range_detected: classification.range_detected,
+    }
+}
+
+fn main() {
+    println!("simulating four worlds (3,000 devices × 14 days each)…\n");
+    let worlds = [
+        simulate("2019 baseline (the paper's world)", 0.0, false, false),
+        simulate("+ GSMA range transparency", 0.0, false, true),
+        simulate("+ NB-IoT meter migration (70%)", 0.7, false, false),
+        simulate("2G sunset without migration", 0.0, true, false),
+    ];
+    println!(
+        "{:<36} {:>12} {:>9} {:>12} {:>13}",
+        "world", "visible m2m", "recall", "RAT-tagged", "range-tagged"
+    );
+    for w in &worlds {
+        println!(
+            "{:<36} {:>12} {:>8.1}% {:>12} {:>13}",
+            w.label,
+            w.visible_m2m,
+            w.recall * 100.0,
+            w.rat_detected,
+            w.range_detected
+        );
+    }
+    let baseline = &worlds[0];
+    let sunset = &worlds[3];
+    println!(
+        "\nthe 2G sunset silences {:.0}% of the visible M2M fleet ({} → {}) — \
+         the paper's 77.4%-2G-only finding turned into an operational risk number.",
+        (1.0 - sunset.visible_m2m as f64 / baseline.visible_m2m as f64) * 100.0,
+        baseline.visible_m2m,
+        sunset.visible_m2m
+    );
+}

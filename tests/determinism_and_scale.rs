@@ -1,0 +1,166 @@
+//! Determinism and scale-invariance: the properties that justify the
+//! DESIGN.md substitution of scaled synthetic populations for the paper's
+//! full-size datasets.
+//!
+//! * **Determinism** — identical (config, seed) must reproduce identical
+//!   datasets bit-for-bit.
+//! * **Seed robustness** — reported *shares* move only a little across
+//!   seeds.
+//! * **Scale invariance** — doubling the population leaves shares in
+//!   place, because every reported quantity is a ratio.
+
+use where_things_roam::core::analysis::{platform, population};
+use where_things_roam::core::classify::{Classifier, DeviceClass};
+use where_things_roam::core::summary::summarize;
+use where_things_roam::scenarios::{
+    M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig,
+};
+
+fn m2m_es_share(devices: usize, seed: u64) -> f64 {
+    let out = M2mScenario::new(M2mScenarioConfig {
+        devices,
+        days: 6,
+        seed,
+        g4_hole_fraction: 0.05,
+    })
+    .run();
+    let ov = platform::overview(&out.transactions);
+    ov.hmno_device_shares
+        .iter()
+        .find(|(c, _, _)| c == "ES")
+        .map(|(_, _, s)| *s)
+        .unwrap_or(0.0)
+}
+
+fn mno_m2m_share(devices: usize, seed: u64) -> f64 {
+    let out = MnoScenario::new(MnoScenarioConfig {
+        devices,
+        days: 10,
+        seed,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let summaries = summarize(&out.catalog);
+    let c = Classifier::new(&out.tacdb).classify(&summaries);
+    c.shares().get(&DeviceClass::M2m).copied().unwrap_or(0.0)
+}
+
+#[test]
+fn m2m_scenario_bit_deterministic() {
+    let run = || {
+        M2mScenario::new(M2mScenarioConfig {
+            devices: 800,
+            days: 4,
+            seed: 5,
+            g4_hole_fraction: 0.05,
+        })
+        .run()
+        .transactions
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mno_scenario_deterministic_catalog() {
+    let run = || {
+        let out = MnoScenario::new(MnoScenarioConfig {
+            devices: 700,
+            days: 5,
+            seed: 9,
+            nbiot_meter_fraction: 0.0,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: 0.0,
+        })
+        .run();
+        let mut rows: Vec<String> = out
+            .catalog
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}:{}:{}:{}:{}",
+                    r.user,
+                    r.day.0,
+                    r.events,
+                    r.bytes_total(),
+                    r.label
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn shares_stable_across_seeds() {
+    let shares: Vec<f64> = (0..3).map(|s| m2m_es_share(1_200, 1000 + s)).collect();
+    for w in shares.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 0.06,
+            "ES share varies too much across seeds: {shares:?}"
+        );
+    }
+}
+
+#[test]
+fn shares_stable_across_scales() {
+    let small = m2m_es_share(800, 4);
+    let large = m2m_es_share(3_200, 4);
+    assert!(
+        (small - large).abs() < 0.06,
+        "ES share not scale-invariant: {small} vs {large}"
+    );
+}
+
+#[test]
+fn classification_shares_stable_across_scales() {
+    let small = mno_m2m_share(1_000, 8);
+    let large = mno_m2m_share(3_000, 8);
+    assert!(
+        (small - large).abs() < 0.05,
+        "m2m share not scale-invariant: {small} vs {large}"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_traces_same_shapes() {
+    let a = M2mScenario::new(M2mScenarioConfig {
+        devices: 500,
+        days: 4,
+        seed: 1,
+        g4_hole_fraction: 0.05,
+    })
+    .run();
+    let b = M2mScenario::new(M2mScenarioConfig {
+        devices: 500,
+        days: 4,
+        seed: 2,
+        g4_hole_fraction: 0.05,
+    })
+    .run();
+    assert_ne!(a.transactions, b.transactions, "seeds must matter");
+}
+
+#[test]
+fn label_shares_sum_to_one_at_any_scale() {
+    for devices in [400, 1_600] {
+        let out = MnoScenario::new(MnoScenarioConfig {
+            devices,
+            days: 6,
+            seed: 3,
+            nbiot_meter_fraction: 0.0,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: 0.0,
+        })
+        .run();
+        let ls = population::label_shares(&out.catalog);
+        let total: f64 = ls.overall.values().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{devices} devices: {total}");
+    }
+}

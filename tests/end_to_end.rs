@@ -1,0 +1,399 @@
+//! End-to-end integration: scenario → probes → catalog → classification →
+//! analyses, asserting the reproduction bands for the MNO-side experiments
+//! (E6–E19) at test scale.
+//!
+//! Bands are deliberately wider than the paper's point values: the test
+//! must be robust to seed and scale, while still failing if a shape flips
+//! (e.g. inbound roamers stop being mostly M2M).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use where_things_roam::core::analysis::activity::{self, StatusGroup};
+use where_things_roam::core::analysis::population;
+use where_things_roam::core::analysis::rat_usage::{self, Plane};
+use where_things_roam::core::analysis::smip;
+use where_things_roam::core::analysis::traffic::{self, TrafficMetric};
+use where_things_roam::core::analysis::verticals;
+use where_things_roam::core::baseline;
+use where_things_roam::core::classify::{Classification, Classifier, DeviceClass};
+use where_things_roam::core::summary::{summarize, DeviceSummary};
+use where_things_roam::core::validate::validate;
+use where_things_roam::model::roaming::RoamingLabel;
+use where_things_roam::model::vertical::Vertical;
+use where_things_roam::scenarios::mno::MnoScenarioOutput;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+
+struct Fixture {
+    output: MnoScenarioOutput,
+    summaries: Vec<DeviceSummary>,
+    classification: Classification,
+    truth: HashMap<u64, Vertical>,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let output = MnoScenario::new(MnoScenarioConfig {
+            devices: 2_500,
+            days: 22,
+            seed: 20_26,
+            nbiot_meter_fraction: 0.0,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: 0.0,
+        })
+        .run();
+        let summaries = summarize(&output.catalog);
+        let classification = Classifier::new(&output.tacdb).classify(&summaries);
+        let truth = summaries
+            .iter()
+            .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
+            .collect();
+        Fixture {
+            output,
+            summaries,
+            classification,
+            truth,
+        }
+    })
+}
+
+#[test]
+fn e6_label_shares_match_paper_ordering() {
+    let f = fixture();
+    let ls = population::label_shares(&f.output.catalog);
+    let hh = ls.overall[&RoamingLabel::HH];
+    let vh = ls.overall[&RoamingLabel::VH];
+    let ih = ls.overall[&RoamingLabel::IH];
+    // Paper: 48% / 33% / 18% per day, H:H > V:H > I:H and stable.
+    assert!(hh > vh && vh > ih, "ordering broken: {hh} {vh} {ih}");
+    assert!((0.40..0.60).contains(&hh), "H:H {hh}");
+    assert!((0.25..0.42).contains(&vh), "V:H {vh}");
+    assert!((0.10..0.25).contains(&ih), "I:H {ih}");
+    // Stability across days (paper: "stable across the 22 days").
+    let ih_daily: Vec<f64> = ls
+        .per_day
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| d.get(&RoamingLabel::IH).copied().unwrap_or(0.0))
+        .collect();
+    let min = ih_daily.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ih_daily.iter().cloned().fold(0.0, f64::max);
+    assert!(max - min < 0.06, "I:H unstable: {min}..{max}");
+}
+
+#[test]
+fn e7_classification_shares() {
+    let f = fixture();
+    let shares = f.classification.shares();
+    let get = |c| shares.get(&c).copied().unwrap_or(0.0);
+    // Paper: 62% / 8% / 26% / 4%.
+    assert!(
+        (0.55..0.70).contains(&get(DeviceClass::Smart)),
+        "smart {}",
+        get(DeviceClass::Smart)
+    );
+    assert!(
+        (0.04..0.12).contains(&get(DeviceClass::Feat)),
+        "feat {}",
+        get(DeviceClass::Feat)
+    );
+    assert!(
+        (0.20..0.32).contains(&get(DeviceClass::M2m)),
+        "m2m {}",
+        get(DeviceClass::M2m)
+    );
+    assert!(
+        (0.01..0.08).contains(&get(DeviceClass::M2mMaybe)),
+        "maybe {}",
+        get(DeviceClass::M2mMaybe)
+    );
+    // Paper: ~21% of devices expose no APN.
+    let no_apn = f.classification.devices_without_apn as f64 / f.summaries.len() as f64;
+    assert!((0.12..0.30).contains(&no_apn), "no-APN {no_apn}");
+}
+
+#[test]
+fn e8_e9_home_country_skew() {
+    let f = fixture();
+    let hc = population::home_countries(&f.summaries, &f.classification);
+    let top3: f64 = hc.overall.iter().take(3).map(|(_, _, s)| s).sum();
+    assert!((0.50..0.80).contains(&top3), "top-3 {top3} (paper ~60%)");
+    let m2m_top3: f64 = ["NL", "SE", "ES"]
+        .iter()
+        .map(|iso| hc.by_class.row_share("m2m", iso))
+        .sum();
+    assert!(m2m_top3 > 0.70, "m2m NL/SE/ES {m2m_top3} (paper 83%)");
+    let smart_top3: f64 = ["NL", "SE", "ES"]
+        .iter()
+        .map(|iso| hc.by_class.row_share("smart", iso))
+        .sum();
+    assert!(
+        smart_top3 < m2m_top3 / 2.0,
+        "m2m concentration must dwarf smartphones: {smart_top3} vs {m2m_top3}"
+    );
+}
+
+#[test]
+fn e10_class_label_structure() {
+    let f = fixture();
+    let b = population::class_label_breakdown(&f.summaries, &f.classification);
+    // Fig. 6-right: I:H is mostly m2m.
+    let ih_m2m = b.share_of_label(DeviceClass::M2m, RoamingLabel::IH);
+    let ih_smart = b.share_of_label(DeviceClass::Smart, RoamingLabel::IH);
+    assert!(
+        (0.60..0.80).contains(&ih_m2m),
+        "I:H m2m {ih_m2m} (paper 71.1%)"
+    );
+    assert!(
+        (0.18..0.38).contains(&ih_smart),
+        "I:H smart {ih_smart} (paper 27.1%)"
+    );
+    // Fig. 6-left: most m2m is inbound; phones are mostly native.
+    let m2m_ih = b.share_of_class(DeviceClass::M2m, RoamingLabel::IH);
+    let smart_ih = b.share_of_class(DeviceClass::Smart, RoamingLabel::IH);
+    let feat_ih = b.share_of_class(DeviceClass::Feat, RoamingLabel::IH);
+    assert!(
+        (0.65..0.85).contains(&m2m_ih),
+        "m2m I:H {m2m_ih} (paper 74.7%)"
+    );
+    assert!(
+        (0.05..0.20).contains(&smart_ih),
+        "smart I:H {smart_ih} (paper 12.1%)"
+    );
+    assert!(feat_ih < smart_ih, "feat should roam least: {feat_ih}");
+}
+
+#[test]
+fn e11_active_days_contrast() {
+    let f = fixture();
+    let res = activity::active_days(
+        &f.summaries,
+        &f.classification,
+        &[
+            (DeviceClass::M2m, StatusGroup::InboundRoaming),
+            (DeviceClass::Smart, StatusGroup::InboundRoaming),
+        ],
+    );
+    let m2m = res[0].days.median().unwrap();
+    let smart = res[1].days.median().unwrap();
+    // Paper: 9 vs 2 days (4.5×).
+    assert!((6.0..14.0).contains(&m2m), "m2m median {m2m}");
+    assert!((1.0..4.0).contains(&smart), "smart median {smart}");
+    assert!(m2m / smart > 2.5, "contrast too weak: {m2m}/{smart}");
+}
+
+#[test]
+fn e12_gyration_contrast() {
+    let f = fixture();
+    let res = activity::gyration(
+        &f.summaries,
+        &f.classification,
+        &[
+            (DeviceClass::M2m, StatusGroup::InboundRoaming),
+            (DeviceClass::Smart, StatusGroup::InboundRoaming),
+        ],
+    );
+    let m2m_under_1km = res[0].gyration_km.fraction_at_or_below(1.0);
+    assert!(
+        (0.65..0.92).contains(&m2m_under_1km),
+        "m2m <1km {m2m_under_1km} (paper ~80%)"
+    );
+    let smart_median = res[1].gyration_km.median().unwrap();
+    assert!(smart_median > 1.0, "smartphones must move: {smart_median}");
+}
+
+#[test]
+fn e13_rat_usage_shapes() {
+    let f = fixture();
+    let classes = [DeviceClass::M2m, DeviceClass::Feat];
+    let any = rat_usage::rat_usage(&f.summaries, &f.classification, &classes, Plane::Any);
+    let data = rat_usage::rat_usage(&f.summaries, &f.classification, &classes, Plane::Data);
+    let voice = rat_usage::rat_usage(&f.summaries, &f.classification, &classes, Plane::Voice);
+    // M2M is dominated by 2G (paper 77.4%).
+    assert!(
+        any[0].share("2G only") > 0.60,
+        "m2m 2G-only {}",
+        any[0].share("2G only")
+    );
+    // A real slice of M2M never touches data (paper 24.5%).
+    assert!(
+        (0.10..0.35).contains(&data[0].share("none")),
+        "m2m no-data {}",
+        data[0].share("none")
+    );
+    // And a slice never uses voice (paper 27.5%).
+    assert!(
+        (0.15..0.45).contains(&voice[0].share("none")),
+        "m2m no-voice {}",
+        voice[0].share("none")
+    );
+    // Feature phones: mostly 2G, most without data, almost all with voice.
+    assert!(
+        any[1].share("2G only") > 0.35,
+        "feat 2G-only {}",
+        any[1].share("2G only")
+    );
+    assert!(
+        data[1].share("none") > 0.40,
+        "feat no-data {}",
+        data[1].share("none")
+    );
+    assert!(
+        voice[1].share("none") < 0.15,
+        "feat no-voice {}",
+        voice[1].share("none")
+    );
+}
+
+#[test]
+fn e14_traffic_volume_shapes() {
+    let f = fixture();
+    let pairs = [
+        (DeviceClass::M2m, StatusGroup::InboundRoaming),
+        (DeviceClass::Smart, StatusGroup::Native),
+        (DeviceClass::Smart, StatusGroup::InboundRoaming),
+    ];
+    let sig = traffic::traffic_dist(
+        &f.summaries,
+        &f.classification,
+        &pairs,
+        TrafficMetric::SignalingPerDay,
+    );
+    let calls = traffic::traffic_dist(
+        &f.summaries,
+        &f.classification,
+        &pairs,
+        TrafficMetric::CallsPerDay,
+    );
+    let bytes = traffic::traffic_dist(
+        &f.summaries,
+        &f.classification,
+        &pairs,
+        TrafficMetric::BytesPerDay,
+    );
+    // M2M signals less than native smartphones.
+    assert!(
+        sig[0].dist.median().unwrap() < sig[1].dist.median().unwrap(),
+        "m2m should signal less than smartphones"
+    );
+    // Most inbound M2M devices never call.
+    assert!(traffic::zero_fraction(&calls[0]) > 0.80);
+    // Bill shock: native smartphones move far more data than inbound ones.
+    let native = bytes[1].dist.median().unwrap();
+    let inbound = bytes[2].dist.median().unwrap();
+    assert!(
+        native > 3.0 * inbound,
+        "bill shock missing: {native} vs {inbound}"
+    );
+    // Inbound M2M data is tiny next to any smartphone population.
+    assert!(bytes[0].dist.median().unwrap() < inbound / 100.0);
+}
+
+#[test]
+fn e15_e17_smip_fingerprints() {
+    let f = fixture();
+    let pop = smip::identify(&f.summaries, &f.output.tacdb);
+    assert!(pop.native.len() > 20, "native meters {}", pop.native.len());
+    assert!(
+        pop.roaming.len() > 50,
+        "roaming meters {}",
+        pop.roaming.len()
+    );
+    // §4.4: one Dutch home operator, module vendors only.
+    assert_eq!(pop.roaming_home_plmns.len(), 1);
+    assert!(pop
+        .roaming_vendors
+        .iter()
+        .all(|v| v == "Gemalto" || v == "Telit"));
+    let native = smip::group_stats(&f.summaries, &pop.native, f.output.days);
+    let roaming = smip::group_stats(&f.summaries, &pop.roaming, f.output.days);
+    // Fig. 11-left: native long-lived, roaming short-lived.
+    assert!(
+        native.full_period_fraction > 0.5,
+        "native full {}",
+        native.full_period_fraction
+    );
+    assert!(
+        roaming.active_days.fraction_at_or_below(5.0) > 0.30,
+        "roaming ≤5d {}",
+        roaming.active_days.fraction_at_or_below(5.0)
+    );
+    // Fig. 11-right: roaming meters signal several times more.
+    let ratio =
+        roaming.signaling_per_day.mean().unwrap() / native.signaling_per_day.mean().unwrap();
+    assert!(ratio > 4.0, "signaling ratio {ratio} (paper ~10x)");
+    // Failures concentrate on the roaming side (paper 10% vs 35%).
+    assert!(roaming.failed_device_fraction > 2.0 * native.failed_device_fraction);
+    // §7.1 RAT split.
+    assert!(
+        (roaming
+            .rat_categories
+            .get("2G only")
+            .copied()
+            .unwrap_or(0.0)
+            - 1.0)
+            .abs()
+            < 1e-9
+    );
+    let native_3g = native.rat_categories.get("3G only").copied().unwrap_or(0.0);
+    assert!(
+        (0.5..0.85).contains(&native_3g),
+        "native 3G-only {native_3g} (paper ~2/3)"
+    );
+}
+
+#[test]
+fn e18_cars_vs_meters() {
+    let f = fixture();
+    let (cars, meters) = verticals::compare(&f.summaries);
+    assert!(cars.devices > 10 && meters.devices > 50);
+    assert!(cars.gyration_km.median().unwrap() > 50.0);
+    assert!(meters.gyration_km.median().unwrap() < 0.5);
+    assert!(
+        cars.signaling_per_day.median().unwrap() > 2.0 * meters.signaling_per_day.median().unwrap()
+    );
+    assert!(cars.bytes_per_day.median().unwrap() > 100.0 * meters.bytes_per_day.median().unwrap());
+}
+
+#[test]
+fn e19_pipeline_beats_baselines() {
+    let f = fixture();
+    let full = validate(&f.classification, &f.truth);
+    let vendor = validate(
+        &baseline::vendor_baseline(&f.output.tacdb, &f.summaries),
+        &f.truth,
+    );
+    let apn = validate(
+        &baseline::apn_only_baseline(&f.output.tacdb, &f.summaries),
+        &f.truth,
+    );
+    let full_recall = full.m2m_recall.unwrap();
+    assert!(full_recall > 0.75, "full recall {full_recall}");
+    assert!(full.m2m_precision.unwrap() > 0.95);
+    // The multi-step pipeline must dominate both baselines on recall —
+    // the paper's §4.3 argument.
+    assert!(
+        full_recall > vendor.m2m_recall.unwrap(),
+        "vendor baseline not beaten"
+    );
+    assert!(
+        full_recall > apn.m2m_recall.unwrap(),
+        "APN-only baseline not beaten"
+    );
+}
+
+#[test]
+fn ground_truth_never_leaks_into_records() {
+    // The catalog's serialized form must not contain any vertical label:
+    // classification works from observables only.
+    let f = fixture();
+    let some_rows: Vec<_> = f.output.catalog.iter().take(50).collect();
+    let json = serde_json::to_string(&some_rows).unwrap();
+    for v in Vertical::ALL {
+        assert!(
+            !json.contains(v.label()),
+            "catalog leaks ground-truth label {v}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Integration tests for the extension experiments (E20–E23): NB-IoT
+//! detection, roaming economics, diurnal shapes and the 2G sunset.
+//! Each extension is motivated by the paper's §1/§8/§9 discussion; these
+//! tests pin their expected qualitative outcomes.
+
+use std::sync::OnceLock;
+use where_things_roam::core::analysis::{diurnal, revenue};
+use where_things_roam::core::classify::{Classification, Classifier, DeviceClass};
+use where_things_roam::core::summary::{summarize, DeviceSummary};
+use where_things_roam::model::rat::Rat;
+use where_things_roam::model::tacdb::TacDatabase;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+
+struct Fix {
+    summaries: Vec<DeviceSummary>,
+    classification: Classification,
+    m2m_truth_count: usize,
+}
+
+fn run_full(devices: usize, nbiot: f64, sunset: bool, transparency: bool, seed: u64) -> Fix {
+    let out = MnoScenario::new(MnoScenarioConfig {
+        devices,
+        days: 12,
+        seed,
+        nbiot_meter_fraction: nbiot,
+        sunset_2g_uk: sunset,
+        gsma_transparency: transparency,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let summaries = summarize(&out.catalog);
+    let classification = Classifier::new(&out.tacdb).classify(&summaries);
+    let m2m_truth_count = summaries
+        .iter()
+        .filter(|s| out.ground_truth.get(&s.user).is_some_and(|v| v.is_m2m()))
+        .count();
+    Fix {
+        summaries,
+        classification,
+        m2m_truth_count,
+    }
+}
+
+fn run(devices: usize, nbiot: f64, sunset: bool, seed: u64) -> Fix {
+    run_full(devices, nbiot, sunset, false, seed)
+}
+
+fn baseline() -> &'static Fix {
+    static CELL: OnceLock<Fix> = OnceLock::new();
+    CELL.get_or_init(|| run(1_500, 0.0, false, 31))
+}
+
+#[test]
+fn e20_nbiot_devices_detected_by_rat() {
+    let base = baseline();
+    assert_eq!(
+        base.classification.nbiot_detected, 0,
+        "2019 population has no NB-IoT devices"
+    );
+    let nb = run(1_500, 0.6, false, 31);
+    assert!(
+        nb.classification.nbiot_detected > 30,
+        "NB-IoT meters must be RAT-detected: {}",
+        nb.classification.nbiot_detected
+    );
+    // Every NB-IoT user lands in m2m.
+    for s in &nb.summaries {
+        if s.radio_flags.any.contains(Rat::NbIot) {
+            assert_eq!(
+                nb.classification.class_of(s.user),
+                Some(DeviceClass::M2m),
+                "NB-IoT device escaped the m2m class"
+            );
+        }
+    }
+}
+
+#[test]
+fn e21_m2m_load_exceeds_its_revenue() {
+    let f = baseline();
+    let econ = revenue::inbound_economics(
+        &f.summaries,
+        &f.classification,
+        revenue::RateCard::default(),
+    );
+    let m2m = econ.iter().find(|e| e.class == DeviceClass::M2m).unwrap();
+    let smart = econ.iter().find(|e| e.class == DeviceClass::Smart).unwrap();
+    // The asymmetry the paper complains about: m2m's load/revenue ratio
+    // exceeds the smartphones', and per-device m2m revenue is tiny.
+    assert!(
+        m2m.load_to_revenue() > smart.load_to_revenue(),
+        "m2m {} vs smart {}",
+        m2m.load_to_revenue(),
+        smart.load_to_revenue()
+    );
+    // Mean m2m revenue is car-skewed; the *typical* (median) M2M device —
+    // a smart meter — earns the operator orders of magnitude less than a
+    // median tourist smartphone.
+    assert!(
+        m2m.revenue_median_per_device < smart.revenue_median_per_device / 20.0,
+        "m2m median €{} vs smart median €{}",
+        m2m.revenue_median_per_device,
+        smart.revenue_median_per_device
+    );
+    // Shares normalize over the inbound population.
+    let load: f64 = econ.iter().map(|e| e.load_share).sum();
+    assert!((load - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn e22_machine_traffic_flatter_than_human() {
+    let f = baseline();
+    let profiles = diurnal::profiles(
+        &f.summaries,
+        &f.classification,
+        &[DeviceClass::M2m, DeviceClass::Smart],
+    );
+    let m2m = &profiles[0];
+    let smart = &profiles[1];
+    assert!(
+        m2m.night_share > 2.0 * smart.night_share,
+        "m2m night {} vs smart night {}",
+        m2m.night_share,
+        smart.night_share
+    );
+    assert!(
+        m2m.peak_to_trough < smart.peak_to_trough,
+        "m2m {} vs smart {} peak/trough",
+        m2m.peak_to_trough,
+        smart.peak_to_trough
+    );
+}
+
+#[test]
+fn e23_sunset_strands_most_m2m() {
+    let before = baseline();
+    let after = run(1_500, 0.0, true, 31);
+    let lost = 1.0 - after.m2m_truth_count as f64 / before.m2m_truth_count.max(1) as f64;
+    // §6.1: 77.4% of M2M is 2G-only; the sunset must strand the majority.
+    assert!(
+        (0.55..0.95).contains(&lost),
+        "stranded fraction {lost} ({} → {})",
+        before.m2m_truth_count,
+        after.m2m_truth_count
+    );
+    // Smartphones barely notice (3G/4G capable).
+    let smart = |f: &Fix| {
+        f.classification
+            .counts()
+            .get(&DeviceClass::Smart)
+            .copied()
+            .unwrap_or(0)
+    };
+    let smart_lost = 1.0 - smart(&after) as f64 / smart(before).max(1) as f64;
+    assert!(
+        smart_lost.abs() < 0.15,
+        "smartphones affected: {smart_lost}"
+    );
+}
+
+#[test]
+fn e24_transparency_tags_published_ranges() {
+    let opaque = baseline();
+    assert_eq!(opaque.classification.range_detected, 0);
+    let transparent = run_full(1_500, 0.0, false, true, 31);
+    assert!(
+        transparent.classification.range_detected > 50,
+        "published NL range should tag the meter fleet: {}",
+        transparent.classification.range_detected
+    );
+    let range_only = where_things_roam::core::baseline::imsi_range_baseline(
+        &TacDatabase::standard(),
+        &transparent.summaries,
+    );
+    // Everything the range-only classifier marks m2m must carry a tag.
+    for (user, class) in &range_only.classes {
+        if *class == DeviceClass::M2m {
+            let s = transparent
+                .summaries
+                .iter()
+                .find(|s| s.user == *user)
+                .unwrap();
+            assert!(s.in_published_m2m_range || s.in_designated_range);
+        }
+    }
+}
+
+#[test]
+fn e23_sunset_with_nbiot_migration_rescues_meters() {
+    // The §8 endgame: retire 2G *after* migrating meters to NB-IoT — the
+    // stranded fraction collapses.
+    let stranded_without = {
+        let before = run(1_000, 0.0, false, 33);
+        let after = run(1_000, 0.0, true, 33);
+        1.0 - after.m2m_truth_count as f64 / before.m2m_truth_count.max(1) as f64
+    };
+    let stranded_with = {
+        let before = run(1_000, 0.8, false, 33);
+        let after = run(1_000, 0.8, true, 33);
+        1.0 - after.m2m_truth_count as f64 / before.m2m_truth_count.max(1) as f64
+    };
+    assert!(
+        stranded_with < stranded_without - 0.15,
+        "NB-IoT migration should rescue meters: {stranded_with} vs {stranded_without}"
+    );
+}
+
+#[test]
+fn record_loss_degrades_gracefully() {
+    // 10% probe record loss must not flip any classification share by
+    // more than a few points — the statistics are shares over large
+    // populations, not exact counts.
+    let clean = MnoScenario::new(MnoScenarioConfig {
+        devices: 1_200,
+        days: 10,
+        seed: 44,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let lossy = MnoScenario::new(MnoScenarioConfig {
+        devices: 1_200,
+        days: 10,
+        seed: 44,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.10,
+    })
+    .run();
+    let shares = |out: &where_things_roam::scenarios::mno::MnoScenarioOutput| {
+        let summaries = summarize(&out.catalog);
+        Classifier::new(&out.tacdb).classify(&summaries).shares()
+    };
+    let a = shares(&clean);
+    let b = shares(&lossy);
+    for (class, share) in &a {
+        let other = b.get(class).copied().unwrap_or(0.0);
+        assert!(
+            (share - other).abs() < 0.05,
+            "{class}: {share} vs {other} under 10% record loss"
+        );
+    }
+    // Loss does shrink the observed record volume.
+    let rows = |out: &where_things_roam::scenarios::mno::MnoScenarioOutput| {
+        out.catalog.iter().map(|r| r.events).sum::<u64>()
+    };
+    assert!(rows(&lossy) < rows(&clean));
+}
