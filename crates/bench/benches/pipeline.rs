@@ -5,10 +5,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wtr_bench::bench_m2m;
+use wtr_bench::{bench_m2m, bench_mno};
+use wtr_core::classify::Classifier;
+use wtr_core::metrics::Ecdf;
+use wtr_core::summary::summarize;
 use wtr_model::hash::{anonymize_u64, AnonKey};
 use wtr_probes::wire;
 use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig};
+use wtr_sim::par;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
@@ -37,6 +41,42 @@ fn bench(c: &mut Criterion) {
             })
             .run()
         })
+    });
+    g.finish();
+
+    // Serial vs parallel comparison for the order-stable map-reduce layer
+    // (`wtr_sim::par`): same inputs, same byte-identical outputs, the only
+    // variable is the thread count. `_t1` pins one worker; `_tN` uses the
+    // default (`WTR_THREADS` / available parallelism).
+    let art = bench_mno();
+    let mut g = c.benchmark_group("par_vs_serial");
+    g.sample_size(10);
+    g.bench_function("summarize_t1", |b| {
+        par::set_threads(Some(1));
+        b.iter(|| summarize(black_box(&art.output.catalog)));
+        par::set_threads(None);
+    });
+    g.bench_function("summarize_tN", |b| {
+        b.iter(|| summarize(black_box(&art.output.catalog)));
+    });
+    g.bench_function("classify_t1", |b| {
+        par::set_threads(Some(1));
+        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)));
+        par::set_threads(None);
+    });
+    g.bench_function("classify_tN", |b| {
+        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)));
+    });
+    let samples: Vec<f64> = (0..400_000u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64)
+        .collect();
+    g.bench_function("ecdf_sort_400k_t1", |b| {
+        par::set_threads(Some(1));
+        b.iter(|| Ecdf::new(black_box(samples.clone())));
+        par::set_threads(None);
+    });
+    g.bench_function("ecdf_sort_400k_tN", |b| {
+        b.iter(|| Ecdf::new(black_box(samples.clone())));
     });
     g.finish();
 

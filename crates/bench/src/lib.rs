@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use wtr_core::analysis::activity::StatusGroup;
 use wtr_core::classify::{Classification, Classifier, DeviceClass};
@@ -45,7 +45,7 @@ impl MnoArtifacts {
 
     /// Ground truth restricted to devices that actually appear in the
     /// catalog (devices that never touched the studied MNO are invisible).
-    pub fn observed_truth(&self) -> HashMap<u64, Vertical> {
+    pub fn observed_truth(&self) -> BTreeMap<u64, Vertical> {
         self.summaries
             .iter()
             .filter_map(|s| self.output.ground_truth.get(&s.user).map(|v| (s.user, *v)))

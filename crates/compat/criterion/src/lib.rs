@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion` with the API this workspace's benches
+//! use: `Criterion`, `benchmark_group`/`bench_function`/`sample_size`/
+//! `finish`, `Bencher::iter`, `black_box` and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! It measures real wall-clock time (warmup, then timed samples) and
+//! prints `name  time: [median mean max]` lines, so relative comparisons
+//! (e.g. serial vs. parallel pipeline stages) are meaningful. When the
+//! binary is run in test mode (`--test`, as `cargo test --benches` does)
+//! each bench body executes exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per bench function.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Target warmup time per bench function.
+const TARGET_WARMUP: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 30,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self.test_mode, id, 30, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.test_mode, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each bench closure.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    /// Run the routine once, collect no timing.
+    Smoke,
+    /// Warm up, then collect `samples` timed samples.
+    Measure { sample_size: usize },
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+            }
+            BenchMode::Measure { sample_size } => {
+                // Warmup and per-sample iteration sizing.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                let mut one = Duration::ZERO;
+                while warm_start.elapsed() < TARGET_WARMUP || warm_iters == 0 {
+                    let t = Instant::now();
+                    black_box(routine());
+                    one = t.elapsed();
+                    warm_iters += 1;
+                    if warm_iters >= 1_000 {
+                        break;
+                    }
+                }
+                let per_sample = TARGET_MEASURE
+                    .checked_div(sample_size as u32)
+                    .unwrap_or(Duration::from_millis(10));
+                let iters_per_sample = if one.is_zero() {
+                    1_000
+                } else {
+                    (per_sample.as_nanos() / one.as_nanos().max(1)).clamp(1, 100_000) as u64
+                };
+                for _ in 0..sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    let total = t.elapsed();
+                    self.samples.push(total / iters_per_sample as u32);
+                }
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        mode: if test_mode {
+            BenchMode::Smoke
+        } else {
+            BenchMode::Measure { sample_size }
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{id}: ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let max = *b.samples.last().expect("non-empty");
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_duration(median),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+/// Declares a group function that runs the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_formats() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("compat");
+        g.sample_size(3);
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        g.finish();
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,693 @@
+//! Offline stand-in for `proptest` with the API surface this workspace
+//! uses: `proptest! { #[test] fn name(x in strategy) { ... } }`, the
+//! `prop_assert*`/`prop_assume` macros, range/tuple/`Just`/regex-string
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `prop::num::*::ANY`, `any::<T>()` and `prop_oneof!`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test-name seed, there is **no shrinking**, and
+//! checked-in `proptest-regressions` files are not replayed (regression
+//! seeds are kept as documentation anchors; fixed bugs get explicit unit
+//! tests instead).
+
+/// Deterministic case source and failure plumbing.
+pub mod test_runner {
+    /// Number of generated cases per property.
+    pub const CASES: u32 = 64;
+
+    /// Outcome of a single property case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic RNG (SplitMix64) seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a named property test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name keeps runs reproducible per test.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be > 0.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            if n.is_power_of_two() {
+                return self.next_u64() & (n - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.options.len() as u64) as usize;
+            self.options[k].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in [`Union`].
+    pub fn union_box<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    // -- Integer and float ranges ------------------------------------------
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit()
+        }
+    }
+
+    // -- Tuples ------------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($( $s:ident : $idx:tt ),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($( self.$idx.generate(rng), )+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    // -- Regex-lite string strategies --------------------------------------
+
+    /// `&str` patterns act as string strategies over a regex subset:
+    /// literal chars, `[a-z0-9-]` classes (ranges + literals, `-` last)
+    /// and `{n}`/`{m,n}`/`?`/`*`/`+` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+        // Called with chars[*i] == '['.
+        *i += 1;
+        assert!(
+            chars.get(*i) != Some(&'^'),
+            "negated classes unsupported in regex-lite strategies"
+        );
+        let mut out = Vec::new();
+        while *i < chars.len() && chars[*i] != ']' {
+            let c = chars[*i];
+            if chars.get(*i + 1) == Some(&'-') && chars.get(*i + 2).is_some_and(|e| *e != ']') {
+                let end = chars[*i + 2];
+                assert!(c <= end, "invalid class range");
+                let mut cc = c;
+                loop {
+                    out.push(cc);
+                    if cc == end {
+                        break;
+                    }
+                    cc = char::from_u32(cc as u32 + 1).expect("class range");
+                }
+                *i += 3;
+            } else {
+                out.push(c);
+                *i += 1;
+            }
+        }
+        assert!(chars.get(*i) == Some(&']'), "unterminated char class");
+        *i += 1;
+        out
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                *i += 1;
+                let mut digits = String::new();
+                let mut min = None;
+                while let Some(&c) = chars.get(*i) {
+                    *i += 1;
+                    match c {
+                        '0'..='9' => digits.push(c),
+                        ',' => {
+                            min = Some(digits.parse::<usize>().expect("quantifier"));
+                            digits.clear();
+                        }
+                        '}' => {
+                            let n = digits.parse::<usize>().expect("quantifier");
+                            return match min {
+                                Some(m) => (m, n),
+                                None => (n, n),
+                            };
+                        }
+                        other => panic!("bad quantifier char `{other}`"),
+                    }
+                }
+                panic!("unterminated quantifier");
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => parse_class(&chars, &mut i),
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i);
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(pattern) {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                let k = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[k]);
+            }
+        }
+        out
+    }
+
+    // -- any::<T>() --------------------------------------------------------
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+/// The canonical "anything" strategy for `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::default()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric strategies (`prop::num::u64::ANY`, ...).
+pub mod num {
+    macro_rules! any_int_mod {
+        ($($m:ident => $t:ty),*) => {$(
+            /// Full-range strategies for this integer type.
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Uniform over the full value range.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Uniform over the full value range.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_int_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                 i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+}
+
+/// Re-exports matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop` namespace (`prop::collection::vec`, `prop::bool::ANY`,
+    /// `prop::num::u64::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_box($s)),+])
+    };
+}
+
+/// Declares property tests: each argument is drawn from its strategy for
+/// a fixed number of deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __cases: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __cases < $crate::test_runner::CASES {
+                    let mut __dbg: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                        $(
+                            let __value =
+                                $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                            __dbg.push(format!("{} = {:?}", stringify!($arg), __value));
+                            let $arg = __value;
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __cases += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= 4096,
+                                "property `{}`: too many prop_assume rejects ({})",
+                                stringify!($name),
+                                __why
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "property `{}` failed at case {}: {}\ninputs:\n  {}",
+                                stringify!($name),
+                                __cases,
+                                __msg,
+                                __dbg.join("\n  ")
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_lite_shapes() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = Strategy::generate(&"[a-e]{1,3}", &mut rng);
+            assert!((1..=3).contains(&t.len()));
+            assert!(t.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u64..10, (a, b) in (1u8..=3, prop::bool::ANY)) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=3).contains(&a));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_map(xs in prop::collection::vec(0u32..5, 2..6), y in any::<u64>()) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(y, y);
+        }
+
+        #[test]
+        fn oneof_and_assume(k in prop_oneof![Just(1u8), Just(2u8)], n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `rand_distr`: the exponential, normal and
+//! log-normal distributions used by the simulator's long-tail samplers
+//! (`wtr_sim::rng`), implemented by inversion and Box–Muller over the
+//! vendored `rand` crate.
+
+use rand::{RngCore, StandardUniform};
+
+/// Distribution sampling interface.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp: lambda must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion on (0, 1]: avoid ln(0).
+        let u = 1.0 - <f64 as StandardUniform>::draw(rng);
+        -u.ln() / self.lambda
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal: invalid parameters"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller (one draw per call; the cosine twin is discarded so
+        // sampling stays stateless).
+        let u1 = 1.0 - <f64 as StandardUniform>::draw(rng);
+        let u2 = <f64 as StandardUniform>::draw(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution over `exp(N(mu, sigma))`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)
+                .map_err(|_| ParamError("LogNormal: invalid parameters"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let d = Exp::new(0.5).unwrap(); // mean 2.0
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let d = LogNormal::new(2.0f64.ln(), 1.0).unwrap();
+        let n = 50_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! Offline stand-in for `serde_derive`: hand-rolled `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` macros (no `syn`/`quote`) that target the
+//! vendored `serde` facade's `serialize_value`/`deserialize_value` traits.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! - named structs, tuple structs (newtype arity-1 serializes transparently,
+//!   matching serde_json), unit structs
+//! - enums with unit / newtype / tuple / struct variants (externally tagged)
+//! - `#[serde(transparent)]` on single-field structs
+//! - `#[serde(skip)]` on named fields (omitted on write, `Default` on read)
+//!
+//! Generics are intentionally unsupported (nothing in the workspace derives
+//! on a generic type); the macro emits a compile error if it sees `<` after
+//! the type name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if ser {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes starting at `i`, returning the idents found
+/// inside any `#[serde(...)]` lists (e.g. `transparent`, `skip`).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut serde_attrs = Vec::new();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(list))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && list.delimiter() == Delimiter::Parenthesis {
+                        for t in list.stream() {
+                            if let TokenTree::Ident(word) = t {
+                                serde_attrs.push(word.to_string());
+                            }
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => return serde_attrs,
+        }
+    }
+}
+
+/// Skips an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes a type (or discriminant) expression up to a top-level comma,
+/// tracking angle-bracket depth so commas inside generics don't split.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `{ field: Type, ... }` contents into named fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in fields: {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name: {other:?}")),
+        }
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // consume the comma (or run off the end)
+        fields.push(Field {
+            name,
+            skip: attrs.iter().any(|a| a == "skip"),
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts tuple-struct/tuple-variant fields (top-level comma segments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        let _ = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&tokens, &mut i);
+    let transparent = attrs.iter().any(|a| a == "transparent");
+    skip_vis(&tokens, &mut i);
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde compat derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Input {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize.
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| "0".to_owned());
+                format!("::serde::Serialize::serialize_value(&self.{f})")
+            } else {
+                let mut s = String::from(
+                    "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let fname = &f.name;
+                    s.push_str(&format!(
+                        "__o.push((::std::string::String::from({fname:?}), \
+                         ::serde::Serialize::serialize_value(&self.{fname})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__o)");
+                s
+            }
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_owned(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from({vname:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({vname:?}), \
+                         ::serde::Serialize::serialize_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let fname = &f.name;
+                                format!(
+                                    "(::std::string::String::from({fname:?}), \
+                                     ::serde::Serialize::serialize_value({fname}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize.
+// ---------------------------------------------------------------------------
+
+/// Expression that decodes named fields out of `__o` into a struct literal
+/// body (`field: ..., ...`).
+fn named_field_inits(type_name: &str, fields: &[Field]) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push(format!("{fname}: ::std::default::Default::default()"));
+        } else {
+            inits.push(format!(
+                "{fname}: match ::serde::__field(__o, {fname:?}) {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::deserialize_value(__x)?,\n\
+                 ::std::option::Option::None => \
+                 ::serde::Deserialize::deserialize_value(&::serde::Value::Null).map_err(|_| \
+                 ::serde::Error::custom(concat!(\
+                 \"{type_name}: missing field `\", {fname:?}, \"`\")))?,\n}}"
+            ));
+        }
+    }
+    inits.join(",\n")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| "0".to_owned());
+                let mut skips = String::new();
+                for other in fields.iter().filter(|x| x.skip) {
+                    skips.push_str(&format!(
+                        ", {}: ::std::default::Default::default()",
+                        other.name
+                    ));
+                }
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::deserialize_value(__v)? {skips} }})"
+                )
+            } else {
+                let inits = named_field_inits(name, fields);
+                format!(
+                    "let __o = match __v.as_object() {{\n\
+                     ::std::option::Option::Some(__o) => __o,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"{name}: expected object\")),\n}};\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}\n}})"
+                )
+            }
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = match __v.as_array() {{\n\
+                 ::std::option::Option::Some(__a) if __a.len() == {n} => __a,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"{name}: expected array of length {n}\")),\n}};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let data_variants: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut arms = String::new();
+    if !unit_variants.is_empty() {
+        let mut inner = String::new();
+        for v in &unit_variants {
+            let vname = &v.name;
+            inner.push_str(&format!(
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+        arms.push_str(&format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{inner}\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"{name}: unknown variant\")),\n}},\n"
+        ));
+    }
+    if !data_variants.is_empty() {
+        let mut inner = String::new();
+        for v in &data_variants {
+            let vname = &v.name;
+            let decode = match &v.kind {
+                VariantKind::Unit => unreachable!(),
+                VariantKind::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize_value(__inner)?))"
+                ),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize_value(&__a[{k}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __a = match __inner.as_array() {{\n\
+                         ::std::option::Option::Some(__a) if __a.len() == {n} => __a,\n\
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}::{vname}: expected array of length {n}\")),\n}};\n\
+                         ::std::result::Result::Ok({name}::{vname}({})) }}",
+                        elems.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits = named_field_inits(name, fields);
+                    format!(
+                        "{{ let __o = match __inner.as_object() {{\n\
+                         ::std::option::Option::Some(__o) => __o,\n\
+                         _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"{name}::{vname}: expected object\")),\n}};\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}) }}",
+                    )
+                }
+            };
+            inner.push_str(&format!("{vname:?} => {decode},\n"));
+        }
+        arms.push_str(&format!(
+            "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+             let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+             match __tag.as_str() {{\n{inner}\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"{name}: unknown variant\")),\n}}\n}},\n"
+        ));
+    }
+    format!(
+        "match __v {{\n{arms}\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"{name}: invalid enum encoding\")),\n}}"
+    )
+}

@@ -7,7 +7,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use wtr_model::country::Country;
 use wtr_model::roaming::RoamingLabel;
-use wtr_probes::catalog::DevicesCatalog;
+use wtr_probes::catalog::{CatalogEntry, DevicesCatalog};
+use wtr_sim::par;
 
 /// Per-day roaming-label shares (E6). The paper reports H:H ≈ 48%,
 /// V:H ≈ 33%, I:H ≈ 18% per day, "stable across the 22 days".
@@ -19,19 +20,38 @@ pub struct LabelShares {
     pub overall: BTreeMap<RoamingLabel, f64>,
 }
 
-/// Computes daily roaming-label shares from the catalog.
+/// Computes daily roaming-label shares from the catalog. The count pass
+/// is sharded over worker threads (`wtr_sim::par`) into ordered maps,
+/// keeping the result thread-count-invariant.
 pub fn label_shares(catalog: &DevicesCatalog) -> LabelShares {
     let days = catalog.window_days();
-    let mut per_day_counts: Vec<BTreeMap<RoamingLabel, f64>> = vec![BTreeMap::new(); days as usize];
-    let mut overall_counts: BTreeMap<RoamingLabel, f64> = BTreeMap::new();
-    for row in catalog.iter() {
-        if (row.day.0 as usize) < per_day_counts.len() {
-            *per_day_counts[row.day.0 as usize]
-                .entry(row.label)
-                .or_insert(0.0) += 1.0;
-        }
-        *overall_counts.entry(row.label).or_insert(0.0) += 1.0;
-    }
+    let rows: Vec<&CatalogEntry> = catalog.iter().collect();
+    type Counts = (
+        Vec<BTreeMap<RoamingLabel, f64>>,
+        BTreeMap<RoamingLabel, f64>,
+    );
+    let (per_day_counts, overall_counts): Counts = par::par_map_reduce(
+        &rows,
+        || (vec![BTreeMap::new(); days as usize], BTreeMap::new()),
+        |(mut per_day, mut overall), row| {
+            if (row.day.0 as usize) < per_day.len() {
+                *per_day[row.day.0 as usize].entry(row.label).or_insert(0.0) += 1.0;
+            }
+            *overall.entry(row.label).or_insert(0.0) += 1.0;
+            (per_day, overall)
+        },
+        |(mut lp, mut lo), (rp, ro)| {
+            for (day, counts) in rp.into_iter().enumerate() {
+                for (label, n) in counts {
+                    *lp[day].entry(label).or_insert(0.0) += n;
+                }
+            }
+            for (label, n) in ro {
+                *lo.entry(label).or_insert(0.0) += n;
+            }
+            (lp, lo)
+        },
+    );
     let normalize = |counts: BTreeMap<RoamingLabel, f64>| -> BTreeMap<RoamingLabel, f64> {
         let total: f64 = counts.values().sum();
         counts
@@ -61,20 +81,29 @@ pub fn home_countries(
     summaries: &[DeviceSummary],
     classification: &Classification,
 ) -> HomeCountries {
-    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
-    let mut by_class = CrossTab::new();
-    for s in summaries {
-        if !s.dominant_label.is_international_inbound() {
-            continue;
-        }
-        let iso = Country::by_mcc(s.sim_plmn.mcc)
-            .map(|c| c.iso.to_owned())
-            .unwrap_or_else(|| format!("mcc{}", s.sim_plmn.mcc));
-        *counts.entry(iso.clone()).or_insert(0.0) += 1.0;
-        if let Some(class) = classification.class_of(s.user) {
-            by_class.add(class.label(), &iso, 1.0);
-        }
-    }
+    let (counts, by_class) = par::par_map_reduce(
+        summaries,
+        || (BTreeMap::<String, f64>::new(), CrossTab::new()),
+        |(mut counts, mut by_class), s| {
+            if s.dominant_label.is_international_inbound() {
+                let iso = Country::by_mcc(s.sim_plmn.mcc)
+                    .map(|c| c.iso.to_owned())
+                    .unwrap_or_else(|| format!("mcc{}", s.sim_plmn.mcc));
+                *counts.entry(iso.clone()).or_insert(0.0) += 1.0;
+                if let Some(class) = classification.class_of(s.user) {
+                    by_class.add(class.label(), &iso, 1.0);
+                }
+            }
+            (counts, by_class)
+        },
+        |(mut lc, mut lt), (rc, rt)| {
+            for (iso, n) in rc {
+                *lc.entry(iso).or_insert(0.0) += n;
+            }
+            lt.merge(rt);
+            (lc, lt)
+        },
+    );
     HomeCountries {
         overall: shares(counts),
         by_class,
@@ -106,12 +135,20 @@ pub fn class_label_breakdown(
     summaries: &[DeviceSummary],
     classification: &Classification,
 ) -> ClassLabelBreakdown {
-    let mut table = CrossTab::new();
-    for s in summaries {
-        if let Some(class) = classification.class_of(s.user) {
-            table.add(class.label(), &s.dominant_label.to_string(), 1.0);
-        }
-    }
+    let table = par::par_map_reduce(
+        summaries,
+        CrossTab::new,
+        |mut table, s| {
+            if let Some(class) = classification.class_of(s.user) {
+                table.add(class.label(), &s.dominant_label.to_string(), 1.0);
+            }
+            table
+        },
+        |mut left, right| {
+            left.merge(right);
+            left
+        },
+    );
     ClassLabelBreakdown { table }
 }
 
@@ -119,7 +156,6 @@ pub fn class_label_breakdown(
 mod tests {
     use super::*;
     use crate::summary::summarize;
-    use std::collections::HashMap;
     use wtr_model::ids::{Plmn, Tac};
     use wtr_model::time::Day;
 
@@ -173,7 +209,7 @@ mod tests {
         let cat = catalog_with_labels();
         let sums = summarize(&cat);
         let mut cls = Classification::default();
-        let classes: HashMap<u64, DeviceClass> = sums
+        let classes: BTreeMap<u64, DeviceClass> = sums
             .iter()
             .map(|s| {
                 let c = if s.dominant_label == RoamingLabel::IH {

@@ -11,6 +11,7 @@ use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use wtr_model::rat::RatSet;
+use wtr_sim::par;
 
 /// Which service plane a Fig. 9 panel looks at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -65,7 +66,8 @@ impl RatUsage {
 }
 
 /// Computes the Fig. 9 category shares for every requested class, on one
-/// plane.
+/// plane. Counting is sharded over worker threads (`wtr_sim::par`) into
+/// ordered maps, so the shares are identical at any thread count.
 pub fn rat_usage(
     summaries: &[DeviceSummary],
     classification: &Classification,
@@ -75,16 +77,24 @@ pub fn rat_usage(
     classes
         .iter()
         .map(|class| {
-            let mut counts: BTreeMap<String, f64> = BTreeMap::new();
-            let mut devices = 0usize;
-            for s in summaries {
-                if classification.class_of(s.user) != Some(*class) {
-                    continue;
-                }
-                devices += 1;
-                let set = plane.of(s);
-                *counts.entry(set.category_label().to_owned()).or_insert(0.0) += 1.0;
-            }
+            let (devices, counts) = par::par_map_reduce(
+                summaries,
+                || (0usize, BTreeMap::<String, f64>::new()),
+                |(mut devices, mut counts), s| {
+                    if classification.class_of(s.user) == Some(*class) {
+                        devices += 1;
+                        let set = plane.of(s);
+                        *counts.entry(set.category_label().to_owned()).or_insert(0.0) += 1.0;
+                    }
+                    (devices, counts)
+                },
+                |(ld, mut lc), (rd, rc)| {
+                    for (k, v) in rc {
+                        *lc.entry(k).or_insert(0.0) += v;
+                    }
+                    (ld + rd, lc)
+                },
+            );
             let total = devices.max(1) as f64;
             RatUsage {
                 class: *class,

@@ -12,6 +12,7 @@ use crate::classify::{Classification, DeviceClass};
 use crate::metrics::Ecdf;
 use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
+use wtr_sim::par;
 
 /// The three Fig. 10 panels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,6 +59,10 @@ pub struct TrafficDist {
 }
 
 /// Computes one Fig. 10 panel for the requested (class, status) pairs.
+///
+/// Sample extraction is sharded over worker threads (`wtr_sim::par`);
+/// chunk results concatenate in input order, so the resulting
+/// distributions are identical at any thread count.
 pub fn traffic_dist(
     summaries: &[DeviceSummary],
     classification: &Classification,
@@ -67,14 +72,22 @@ pub fn traffic_dist(
     pairs
         .iter()
         .map(|(class, status)| {
-            let samples: Vec<f64> = summaries
-                .iter()
-                .filter(|s| {
-                    classification.class_of(s.user) == Some(*class)
+            let samples: Vec<f64> = par::par_map_reduce(
+                summaries,
+                Vec::new,
+                |mut acc, s| {
+                    if classification.class_of(s.user) == Some(*class)
                         && StatusGroup::of(s) == Some(*status)
-                })
-                .map(|s| metric.of(s))
-                .collect();
+                    {
+                        acc.push(metric.of(s));
+                    }
+                    acc
+                },
+                |mut left, right| {
+                    left.extend(right);
+                    left
+                },
+            );
             TrafficDist {
                 class: *class,
                 status: *status,

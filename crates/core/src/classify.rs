@@ -24,9 +24,10 @@
 use crate::keywords::{is_consumer_apn, match_m2m_keyword};
 use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use wtr_model::tacdb::{GsmaClass, TacDatabase};
+use wtr_sim::par;
 
 /// The classifier's output classes (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -71,8 +72,9 @@ impl fmt::Display for DeviceClass {
 /// Full classification result.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Classification {
-    /// Class per anonymized device ID.
-    pub classes: HashMap<u64, DeviceClass>,
+    /// Class per anonymized device ID (ordered, so reports and
+    /// serialized output iterate deterministically).
+    pub classes: BTreeMap<u64, DeviceClass>,
     /// Distinct APN strings seen across the population.
     pub total_apns: usize,
     /// APNs validated as M2M by the keyword step, with the keyword that
@@ -184,28 +186,36 @@ impl<'a> Classifier<'a> {
             }
         }
 
-        // Steps 4–6: classify every device.
-        for s in summaries {
-            if s.apns.is_empty() {
+        // Steps 4–6: classify every device. Each device's class depends
+        // only on its own summary plus the (already fixed) seed and
+        // propagation sets, so this step shards cleanly over worker
+        // threads; the per-device verdicts land in an ordered map, making
+        // the output independent of thread count.
+        let seeds = &seeds;
+        let propagated = &result.propagated_tacs;
+        let verdicts = par::par_map(summaries, |s| {
+            let info = self.tacdb.get(s.tac);
+            let class = if seeds.contains(&s.user) || propagated.contains(&s.tac.value()) {
+                DeviceClass::M2m
+            } else {
+                let os_major = info.is_some_and(|i| i.os.is_major_smartphone_os());
+                let gsma_feat = info.is_some_and(|i| i.gsma_class == GsmaClass::FeaturePhone);
+                let uses_consumer = s.apns.iter().any(|a| is_consumer_apn(a));
+                if os_major && (uses_consumer || s.apns.is_empty()) {
+                    DeviceClass::Smart
+                } else if gsma_feat || (uses_consumer && !os_major) {
+                    DeviceClass::Feat
+                } else {
+                    DeviceClass::M2mMaybe
+                }
+            };
+            (s.user, class, s.apns.is_empty())
+        });
+        for (user, class, no_apn) in verdicts {
+            if no_apn {
                 result.devices_without_apn += 1;
             }
-            let info = self.tacdb.get(s.tac);
-            let class =
-                if seeds.contains(&s.user) || result.propagated_tacs.contains(&s.tac.value()) {
-                    DeviceClass::M2m
-                } else {
-                    let os_major = info.is_some_and(|i| i.os.is_major_smartphone_os());
-                    let gsma_feat = info.is_some_and(|i| i.gsma_class == GsmaClass::FeaturePhone);
-                    let uses_consumer = s.apns.iter().any(|a| is_consumer_apn(a));
-                    if os_major && (uses_consumer || s.apns.is_empty()) {
-                        DeviceClass::Smart
-                    } else if gsma_feat || (uses_consumer && !os_major) {
-                        DeviceClass::Feat
-                    } else {
-                        DeviceClass::M2mMaybe
-                    }
-                };
-            result.classes.insert(s.user, class);
+            result.classes.insert(user, class);
         }
         result
     }

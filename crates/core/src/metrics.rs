@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use wtr_sim::par;
 
 /// An empirical cumulative distribution function over `f64` samples.
 ///
@@ -25,11 +26,23 @@ pub struct Ecdf {
 impl Ecdf {
     /// Builds from samples (NaNs are rejected with a debug assertion and
     /// dropped in release builds).
+    ///
+    /// Sorting is sharded over worker threads (`wtr_sim::par`): fixed
+    /// chunks are sorted independently and merged with `total_cmp`.
+    /// Since `total_cmp` is a total order (equal keys are bit-identical),
+    /// the merged vector equals the serial sort exactly at any thread
+    /// count.
     pub fn new(mut samples: Vec<f64>) -> Self {
         debug_assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(f64::total_cmp);
-        Ecdf { sorted: samples }
+        let runs = par::chunked_map(&samples, |chunk| {
+            let mut v = chunk.to_vec();
+            v.sort_by(f64::total_cmp);
+            v
+        });
+        Ecdf {
+            sorted: merge_sorted_runs(runs),
+        }
     }
 
     /// Number of samples.
@@ -87,14 +100,18 @@ impl Ecdf {
         self.sorted.last().copied()
     }
 
-    /// Evenly-spaced `(x, F(x))` points for plotting/rendering, at most
-    /// `points` of them.
+    /// Evenly-spaced `(x, F(x))` points for plotting/rendering: at most
+    /// `points` sampled steps, plus at most one extra closing point at the
+    /// maximum — so never more than `points + 1` entries.
     pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || points == 0 {
             return Vec::new();
         }
         let n = self.sorted.len();
-        let step = (n.max(points) / points).max(1);
+        // Ceiling division: with truncation (the old behaviour) `n = 100,
+        // points = 32` yielded a step of 3 and 34 points, violating the
+        // documented bound.
+        let step = n.div_ceil(points).max(1);
         let mut out = Vec::new();
         let mut i = step - 1;
         while i < n {
@@ -106,6 +123,49 @@ impl Ecdf {
         }
         out
     }
+}
+
+/// Merges pre-sorted runs (ordered by `f64::total_cmp`) into one sorted
+/// vector — the reduce step of the parallel ECDF build.
+fn merge_sorted_runs(mut runs: Vec<Vec<f64>>) -> Vec<f64> {
+    runs.retain(|r| !r.is_empty());
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.pop().expect("one run"),
+        _ => {}
+    }
+    // Repeatedly merge pairs; with at most 64 runs this is at most six
+    // passes over the data.
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().expect("one run")
+}
+
+/// Merges two sorted vectors under `total_cmp`.
+fn merge_two(a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].total_cmp(&b[ib]).is_le() {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
 }
 
 /// A labeled contingency table with row/column normalization — the shape
@@ -136,6 +196,14 @@ impl CrossTab {
             .cells
             .entry((row.to_owned(), col.to_owned()))
             .or_insert(0.0) += weight;
+    }
+
+    /// Adds every cell of `other` into this table — the reduce step when
+    /// tables are built from chunks of a population in parallel.
+    pub fn merge(&mut self, other: CrossTab) {
+        for ((row, col), v) in other.cells {
+            *self.cells.entry((row, col)).or_insert(0.0) += v;
+        }
     }
 
     /// Raw cell value.
@@ -264,13 +332,56 @@ mod tests {
     fn ecdf_curve_monotone_and_ends_at_one() {
         let samples: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
         let e = Ecdf::new(samples);
-        let curve = e.curve(32);
-        assert!(curve.len() <= 34);
+        let points = 32;
+        let curve = e.curve(points);
+        assert!(
+            curve.len() <= points + 1,
+            "curve({points}) returned {} points",
+            curve.len()
+        );
         for w in curve.windows(2) {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
         assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ecdf_curve_honors_bound_for_awkward_ratios() {
+        // The regression case: n = 100, points = 32. Truncating division
+        // produced a step of 3 and a 34-point curve.
+        let e = Ecdf::new((0..100).map(|i| i as f64).collect());
+        for points in [1usize, 2, 3, 7, 31, 32, 33, 99, 100, 101] {
+            let curve = e.curve(points);
+            assert!(
+                curve.len() <= points + 1,
+                "n=100 curve({points}) returned {} points",
+                curve.len()
+            );
+            assert_eq!(curve.last().unwrap().1, 1.0);
+        }
+    }
+
+    #[test]
+    fn ecdf_parallel_sort_matches_serial() {
+        // Pseudo-random samples, long enough to span many chunks.
+        let samples: Vec<f64> = (0..40_000u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+            })
+            .collect();
+        let mut expected = samples.clone();
+        expected.sort_by(f64::total_cmp);
+        for t in [1usize, 2, 8] {
+            par::set_threads(Some(t));
+            let e = Ecdf::new(samples.clone());
+            assert_eq!(e.len(), expected.len());
+            assert_eq!(e.min(), expected.first().copied());
+            assert_eq!(e.median(), Some(expected[expected.len() / 2 - 1]));
+            assert_eq!(e.max(), expected.last().copied());
+        }
+        par::set_threads(None);
     }
 
     #[test]

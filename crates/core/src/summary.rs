@@ -5,11 +5,12 @@
 //! anonymized device across the observation window.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use wtr_model::ids::{Plmn, Tac};
 use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
-use wtr_probes::catalog::{DevicesCatalog, MobilityAccum};
+use wtr_probes::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
+use wtr_sim::par;
 
 /// One device, aggregated over the whole observation window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,72 +116,129 @@ impl DeviceSummary {
     }
 }
 
-/// Folds a devices-catalog into per-device summaries.
-pub fn summarize(catalog: &DevicesCatalog) -> Vec<DeviceSummary> {
-    let mut map: HashMap<u64, DeviceSummary> = HashMap::new();
-    let mut label_counts: HashMap<u64, HashMap<RoamingLabel, u32>> = HashMap::new();
-    for row in catalog.iter() {
-        let s = map.entry(row.user).or_insert_with(|| DeviceSummary {
-            user: row.user,
-            sim_plmn: row.sim_plmn,
-            tac: row.tac,
-            active_days: 0,
-            first_day: row.day.0,
-            last_day: row.day.0,
-            dominant_label: row.label,
-            labels: BTreeSet::new(),
-            apns: BTreeSet::new(),
-            radio_flags: RadioFlags::default(),
-            events: 0,
-            failed_events: 0,
-            calls: 0,
-            sms: 0,
-            data_sessions: 0,
-            bytes: 0,
-            in_designated_range: false,
-            in_published_m2m_range: false,
-            visited: BTreeSet::new(),
-            hourly: [0; 24],
-            mobility: MobilityAccum::default(),
-        });
-        s.active_days += 1;
-        s.first_day = s.first_day.min(row.day.0);
-        s.last_day = s.last_day.max(row.day.0);
-        s.labels.insert(row.label);
-        s.apns.extend(row.apns.iter().cloned());
-        s.radio_flags.merge(row.radio_flags);
-        s.events += row.events;
-        s.failed_events += row.failed_events;
-        s.calls += row.calls;
-        s.sms += row.sms;
-        s.data_sessions += row.data_sessions;
-        s.bytes += row.bytes_total();
-        s.in_designated_range |= row.in_designated_range;
-        s.in_published_m2m_range |= row.in_published_m2m_range;
-        s.visited.extend(row.visited.iter().copied());
-        for (h, n) in row.hourly.iter().enumerate() {
-            s.hourly[h] += *n as u64;
-        }
-        s.mobility.merge(&row.mobility);
-        *label_counts
-            .entry(row.user)
-            .or_default()
-            .entry(row.label)
-            .or_insert(0) += 1;
+/// Chunk-local accumulator: per device, the summary under construction
+/// plus how often each daily label was seen (for the dominant-label vote).
+type Partial = BTreeMap<u64, (DeviceSummary, BTreeMap<RoamingLabel, u32>)>;
+
+/// Folds one catalog row into a partial. First-touch identity: the first
+/// row a device contributes (earliest (user, day) in the chunk) sets
+/// `sim_plmn`/`tac`/`first_day`.
+fn fold_row(mut acc: Partial, row: &CatalogEntry) -> Partial {
+    let (s, counts) = acc.entry(row.user).or_insert_with(|| {
+        (
+            DeviceSummary {
+                user: row.user,
+                sim_plmn: row.sim_plmn,
+                tac: row.tac,
+                active_days: 0,
+                first_day: row.day.0,
+                last_day: row.day.0,
+                dominant_label: row.label,
+                labels: BTreeSet::new(),
+                apns: BTreeSet::new(),
+                radio_flags: RadioFlags::default(),
+                events: 0,
+                failed_events: 0,
+                calls: 0,
+                sms: 0,
+                data_sessions: 0,
+                bytes: 0,
+                in_designated_range: false,
+                in_published_m2m_range: false,
+                visited: BTreeSet::new(),
+                hourly: [0; 24],
+                mobility: MobilityAccum::default(),
+            },
+            BTreeMap::new(),
+        )
+    });
+    s.active_days += 1;
+    s.first_day = s.first_day.min(row.day.0);
+    s.last_day = s.last_day.max(row.day.0);
+    s.labels.insert(row.label);
+    s.apns.extend(row.apns.iter().cloned());
+    s.radio_flags.merge(row.radio_flags);
+    s.events += row.events;
+    s.failed_events += row.failed_events;
+    s.calls += row.calls;
+    s.sms += row.sms;
+    s.data_sessions += row.data_sessions;
+    s.bytes += row.bytes_total();
+    s.in_designated_range |= row.in_designated_range;
+    s.in_published_m2m_range |= row.in_published_m2m_range;
+    s.visited.extend(row.visited.iter().copied());
+    for (h, n) in row.hourly.iter().enumerate() {
+        s.hourly[h] += *n as u64;
     }
-    for s in map.values_mut() {
-        if let Some(counts) = label_counts.get(&s.user) {
+    s.mobility.merge(&row.mobility);
+    *counts.entry(row.label).or_insert(0) += 1;
+    acc
+}
+
+/// Merges the partial of a *later* chunk into an earlier one. Identity
+/// fields keep the left (earlier) side, matching the serial fold.
+fn merge_partials(mut left: Partial, right: Partial) -> Partial {
+    for (user, (rs, rcounts)) in right {
+        match left.entry(user) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert((rs, rcounts));
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let (s, counts) = o.get_mut();
+                s.active_days += rs.active_days;
+                s.first_day = s.first_day.min(rs.first_day);
+                s.last_day = s.last_day.max(rs.last_day);
+                s.labels.extend(rs.labels);
+                s.apns.extend(rs.apns);
+                s.radio_flags.merge(rs.radio_flags);
+                s.events += rs.events;
+                s.failed_events += rs.failed_events;
+                s.calls += rs.calls;
+                s.sms += rs.sms;
+                s.data_sessions += rs.data_sessions;
+                s.bytes += rs.bytes;
+                s.in_designated_range |= rs.in_designated_range;
+                s.in_published_m2m_range |= rs.in_published_m2m_range;
+                s.visited.extend(rs.visited);
+                for (h, n) in rs.hourly.iter().enumerate() {
+                    s.hourly[h] += n;
+                }
+                s.mobility.merge(&rs.mobility);
+                for (label, n) in rcounts {
+                    *counts.entry(label).or_insert(0) += n;
+                }
+            }
+        }
+    }
+    left
+}
+
+/// Folds a devices-catalog into per-device summaries, sorted by device ID.
+///
+/// The fold is sharded over worker threads (`wtr_sim::par`); because the
+/// catalog iterates in (user, day) order and chunk partials merge in
+/// order, the result is identical — byte for byte once serialized — at
+/// any thread count.
+pub fn summarize(catalog: &DevicesCatalog) -> Vec<DeviceSummary> {
+    let rows: Vec<&CatalogEntry> = catalog.iter().collect();
+    let merged = par::par_map_reduce(
+        &rows,
+        BTreeMap::new,
+        |acc, row| fold_row(acc, row),
+        merge_partials,
+    );
+    merged
+        .into_values()
+        .map(|(mut s, counts)| {
             if let Some((label, _)) = counts
                 .iter()
                 .max_by_key(|(l, c)| (**c, std::cmp::Reverse(**l)))
             {
                 s.dominant_label = *label;
             }
-        }
-    }
-    let mut out: Vec<DeviceSummary> = map.into_values().collect();
-    out.sort_by_key(|s| s.user);
-    out
+            s
+        })
+        .collect()
 }
 
 #[cfg(test)]

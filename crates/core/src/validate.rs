@@ -9,7 +9,7 @@
 
 use crate::classify::{Classification, DeviceClass};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use wtr_model::vertical::Vertical;
 
 /// The class a perfectly informed classifier would assign a vertical.
@@ -104,7 +104,7 @@ pub struct Validation {
 
 /// Scores `classification` against the ground-truth vertical of each
 /// device (keyed by anonymized device ID).
-pub fn validate(classification: &Classification, truth: &HashMap<u64, Vertical>) -> Validation {
+pub fn validate(classification: &Classification, truth: &BTreeMap<u64, Vertical>) -> Validation {
     let mut matrix = ConfusionMatrix::default();
     let mut unmatched = 0usize;
     let mut m2m_tp = 0usize;
@@ -171,7 +171,7 @@ mod tests {
             (2, DeviceClass::Smart),
             (3, DeviceClass::Feat),
         ]);
-        let truth = HashMap::from([
+        let truth = BTreeMap::from([
             (1, Vertical::SmartMeter),
             (2, Vertical::Smartphone),
             (3, Vertical::FeaturePhone),
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn m2m_maybe_counts_as_recall_miss() {
         let c = classification(&[(1, DeviceClass::M2mMaybe), (2, DeviceClass::M2m)]);
-        let truth = HashMap::from([(1, Vertical::SmartMeter), (2, Vertical::SmartMeter)]);
+        let truth = BTreeMap::from([(1, Vertical::SmartMeter), (2, Vertical::SmartMeter)]);
         let v = validate(&c, &truth);
         assert_eq!(v.m2m_recall, Some(0.5));
         assert_eq!(v.m2m_precision, Some(1.0));
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn misclassified_phone_hurts_precision() {
         let c = classification(&[(1, DeviceClass::M2m), (2, DeviceClass::M2m)]);
-        let truth = HashMap::from([(1, Vertical::SmartMeter), (2, Vertical::Smartphone)]);
+        let truth = BTreeMap::from([(1, Vertical::SmartMeter), (2, Vertical::Smartphone)]);
         let v = validate(&c, &truth);
         assert_eq!(v.m2m_precision, Some(0.5));
         assert_eq!(v.matrix.get(DeviceClass::Smart, DeviceClass::M2m), 1);
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn unmatched_devices_counted() {
         let c = classification(&[(1, DeviceClass::M2m), (99, DeviceClass::Smart)]);
-        let truth = HashMap::from([(1, Vertical::SmartMeter)]);
+        let truth = BTreeMap::from([(1, Vertical::SmartMeter)]);
         let v = validate(&c, &truth);
         assert_eq!(v.unmatched, 1);
         assert_eq!(v.matrix.total(), 1);

@@ -47,8 +47,24 @@ impl Apn {
 
     /// Builds an APN from a network-identifier string (dot-separated
     /// labels) and optional operator.
+    ///
+    /// The operator PLMN is canonicalized to the registry convention
+    /// (2-digit MNC whenever the value fits): the OI wire format always
+    /// writes 3 MNC digits, so the digit count carries no information
+    /// there, and canonicalizing here makes `Display`/`FromStr` a true
+    /// round trip. (Regression: constructing an APN with a 3-digit MNC of
+    /// value ≤ 99, e.g. `mcc200 mnc000`, used to come back from parsing
+    /// with a 2-digit MNC and compare unequal to the original.)
     pub fn new(ni: &str, operator: Option<Plmn>) -> Result<Self, ParseError> {
         let labels = Self::validate_ni(ni)?;
+        let operator = operator.map(|op| {
+            let v = op.mnc.value();
+            if v <= 99 {
+                Plmn::new(op.mcc, Mnc::new2(v).expect("<=99 fits 2 digits"))
+            } else {
+                op
+            }
+        });
         Ok(Apn {
             ni: labels,
             operator,
@@ -246,6 +262,23 @@ mod tests {
         let op = apn.operator().unwrap();
         assert_eq!(op.mnc.value(), 130);
         assert_eq!(op.mnc.digits(), 3);
+    }
+
+    #[test]
+    fn constructed_three_digit_mnc_below_100_roundtrips() {
+        // Regression anchor for the proptest seed `labels = ["a"],
+        // has_oi = true, plmn = 200-000 (3-digit)`: `Apn::new` now
+        // canonicalizes the operator MNC, so construction and parsing
+        // agree.
+        let op = Plmn::new(
+            "200".parse::<Mcc>().unwrap(),
+            Mnc::new3(0).expect("000 is a valid 3-digit MNC"),
+        );
+        let apn = Apn::new("a", Some(op)).unwrap();
+        assert_eq!(apn.to_string(), "a.mnc000.mcc200.gprs");
+        let back: Apn = apn.to_string().parse().unwrap();
+        assert_eq!(back, apn);
+        assert_eq!(apn.operator().unwrap().mnc.digits(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! time-spent-per-sector weighting (DESIGN.md).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use wtr_model::ids::{Plmn, Tac};
 use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
@@ -183,12 +183,47 @@ impl CatalogEntry {
     pub fn used_voice(&self) -> bool {
         self.calls + self.sms > 0
     }
+
+    /// Folds another row for the *same* (device, day) into this one.
+    ///
+    /// Counters add, sets union, hour-of-day and mobility accumulators
+    /// merge; identity fields (`sim_plmn`, `tac`, `label`) keep `self`'s
+    /// values — the same first-touch-wins rule [`DevicesCatalog::row_mut`]
+    /// applies when a probe builds a row incrementally. This is the merge
+    /// step of the parallel ingest path: when `self` holds the earlier
+    /// chunk of the event stream, the combined row is identical to what a
+    /// serial fold would have produced.
+    pub fn absorb(&mut self, other: &CatalogEntry) {
+        debug_assert_eq!((self.user, self.day), (other.user, other.day));
+        self.events += other.events;
+        self.failed_events += other.failed_events;
+        self.calls += other.calls;
+        self.sms += other.sms;
+        self.call_secs += other.call_secs;
+        self.data_sessions += other.data_sessions;
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.visited.extend(other.visited.iter().copied());
+        self.apns.extend(other.apns.iter().cloned());
+        self.radio_flags.merge(other.radio_flags);
+        self.sector_set.extend(other.sector_set.iter().copied());
+        for (h, n) in other.hourly.iter().enumerate() {
+            self.hourly[h] += n;
+        }
+        self.in_designated_range |= other.in_designated_range;
+        self.in_published_m2m_range |= other.in_published_m2m_range;
+        self.mobility.merge(&other.mobility);
+    }
 }
 
 /// The devices-catalog: all (device, day) rows of the observation window.
+///
+/// Rows live in a `BTreeMap` keyed by (user, day), so iteration order —
+/// and everything downstream of it: summaries, reports, serialized
+/// exports — is deterministic by construction.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DevicesCatalog {
-    rows: HashMap<(u64, u32), CatalogEntry>,
+    rows: BTreeMap<(u64, u32), CatalogEntry>,
     window_days: u32,
 }
 
@@ -196,7 +231,7 @@ impl DevicesCatalog {
     /// Creates an empty catalog for a window of `window_days` days.
     pub fn new(window_days: u32) -> Self {
         DevicesCatalog {
-            rows: HashMap::new(),
+            rows: BTreeMap::new(),
             window_days,
         }
     }
@@ -237,9 +272,30 @@ impl DevicesCatalog {
         self.rows.is_empty()
     }
 
-    /// Iterates over all rows (unordered).
+    /// Iterates over all rows in (user, day) order.
     pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> {
         self.rows.values()
+    }
+
+    /// Folds another catalog into this one: rows for the same
+    /// (device, day) are combined with [`CatalogEntry::absorb`] (so
+    /// `self`'s identity fields win), new rows are inserted.
+    ///
+    /// This is the reduce step of parallel ingestion: partial catalogs
+    /// built from consecutive chunks of an event stream, merged in chunk
+    /// order, reproduce the serial fold exactly.
+    pub fn merge(&mut self, other: DevicesCatalog) {
+        self.window_days = self.window_days.max(other.window_days);
+        for (key, entry) in other.rows {
+            match self.rows.entry(key) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(entry);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    o.get_mut().absorb(&entry);
+                }
+            }
+        }
     }
 
     /// Number of distinct devices seen across the window.
@@ -250,9 +306,10 @@ impl DevicesCatalog {
         users.len()
     }
 
-    /// Groups rows per device, days sorted ascending.
-    pub fn by_device(&self) -> HashMap<u64, Vec<&CatalogEntry>> {
-        let mut out: HashMap<u64, Vec<&CatalogEntry>> = HashMap::new();
+    /// Groups rows per device, days sorted ascending. The returned map
+    /// iterates in device-ID order (deterministic report paths).
+    pub fn by_device(&self) -> BTreeMap<u64, Vec<&CatalogEntry>> {
+        let mut out: BTreeMap<u64, Vec<&CatalogEntry>> = BTreeMap::new();
         for entry in self.rows.values() {
             out.entry(entry.user).or_default().push(entry);
         }
@@ -368,6 +425,48 @@ mod tests {
         let acc = MobilityAccum::default();
         assert!(acc.centroid().is_none());
         assert!(acc.gyration_km().is_none());
+    }
+
+    #[test]
+    fn iteration_is_ordered_by_user_then_day() {
+        let mut cat = DevicesCatalog::new(22);
+        cat.row_mut(9, Day(1), plmn(), tac(), RoamingLabel::HH);
+        cat.row_mut(1, Day(5), plmn(), tac(), RoamingLabel::HH);
+        cat.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+        let keys: Vec<(u64, u32)> = cat.iter().map(|r| (r.user, r.day.0)).collect();
+        assert_eq!(keys, vec![(1, 0), (1, 5), (9, 1)]);
+    }
+
+    #[test]
+    fn merge_reproduces_serial_fold() {
+        // Serial: one catalog absorbs everything in order.
+        let mut serial = DevicesCatalog::new(22);
+        let r = serial.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+        r.events = 2;
+        r.mobility.add(GeoPoint::new(52.0, -1.0), 1.0);
+        let r = serial.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::IH);
+        r.events += 3;
+        r.mobility.add(GeoPoint::new(52.5, -1.2), 1.0);
+        serial.row_mut(2, Day(1), plmn(), tac(), RoamingLabel::VH);
+
+        // Parallel: two partial catalogs, merged in chunk order.
+        let mut a = DevicesCatalog::new(22);
+        let r = a.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+        r.events = 2;
+        r.mobility.add(GeoPoint::new(52.0, -1.0), 1.0);
+        let mut b = DevicesCatalog::new(22);
+        let r = b.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::IH);
+        r.events = 3;
+        r.mobility.add(GeoPoint::new(52.5, -1.2), 1.0);
+        b.row_mut(2, Day(1), plmn(), tac(), RoamingLabel::VH);
+        a.merge(b);
+
+        assert_eq!(a.len(), serial.len());
+        for (left, right) in a.iter().zip(serial.iter()) {
+            assert_eq!(left, right);
+        }
+        // First-touch label survives the merge.
+        assert_eq!(a.get(1, Day(0)).unwrap().label, RoamingLabel::HH);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use crate::catalog::{CatalogEntry, DevicesCatalog};
 use crate::records::M2mTransaction;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
+use wtr_sim::par;
 
 /// Header line of a catalog JSONL stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,22 +82,38 @@ pub fn write_transactions<W: Write>(
     Ok(())
 }
 
-/// Reads a transaction log written by [`write_transactions`] (or produced
-/// by any tool emitting the same schema).
-pub fn read_transactions<R: BufRead>(input: R) -> Result<Vec<M2mTransaction>, IoError> {
+/// Collects non-blank lines with their 1-based line numbers.
+fn numbered_lines<R: BufRead>(input: R) -> Result<Vec<(usize, String)>, IoError> {
     let mut out = Vec::new();
     for (idx, line) in input.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let t: M2mTransaction = serde_json::from_str(&line).map_err(|e| IoError::Parse {
-            line: idx + 1,
-            message: e.to_string(),
-        })?;
-        out.push(t);
+        out.push((idx + 1, line));
     }
     Ok(out)
+}
+
+/// Parses numbered JSONL lines in parallel (`wtr_sim::par`), preserving
+/// line order; on failure, the error reports the *earliest* bad line,
+/// exactly as a serial reader would.
+fn parse_lines<T: serde::Deserialize + Send>(lines: &[(usize, String)]) -> Result<Vec<T>, IoError> {
+    par::par_map(lines, |(num, line)| {
+        serde_json::from_str::<T>(line).map_err(|e| IoError::Parse {
+            line: *num,
+            message: e.to_string(),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Reads a transaction log written by [`write_transactions`] (or produced
+/// by any tool emitting the same schema). Lines are parsed in parallel;
+/// the output order (and any reported parse error) matches a serial read.
+pub fn read_transactions<R: BufRead>(input: R) -> Result<Vec<M2mTransaction>, IoError> {
+    parse_lines(&numbered_lines(input)?)
 }
 
 /// Writes a devices-catalog as JSONL: a header line, then one row per line
@@ -138,18 +156,18 @@ pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
             header.format
         )));
     }
-    let mut catalog = DevicesCatalog::new(header.window_days);
-    let mut count = 0usize;
+    let mut numbered = Vec::new();
     for (idx, line) in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let entry: CatalogEntry = serde_json::from_str(&line).map_err(|e| IoError::Parse {
-            line: idx + 1,
-            message: e.to_string(),
-        })?;
-        count += 1;
+        numbered.push((idx + 1, line));
+    }
+    let entries: Vec<CatalogEntry> = parse_lines(&numbered)?;
+    let count = entries.len();
+    let mut catalog = DevicesCatalog::new(header.window_days);
+    for entry in entries {
         let row = catalog.row_mut(
             entry.user,
             entry.day,
@@ -179,19 +197,16 @@ pub struct TruthLine {
     pub vertical: wtr_model::vertical::Vertical,
 }
 
-/// Writes a ground-truth map as JSONL in stable (user) order.
+/// Writes a ground-truth map as JSONL in (user) order — `BTreeMap` keeps
+/// the export byte-stable without an explicit sort.
 pub fn write_truth<W: Write>(
     mut out: W,
-    truth: &std::collections::HashMap<u64, wtr_model::vertical::Vertical>,
+    truth: &BTreeMap<u64, wtr_model::vertical::Vertical>,
 ) -> Result<(), IoError> {
-    let mut lines: Vec<TruthLine> = truth
-        .iter()
-        .map(|(user, vertical)| TruthLine {
-            user: *user,
-            vertical: *vertical,
-        })
-        .collect();
-    lines.sort_by_key(|l| l.user);
+    let lines = truth.iter().map(|(user, vertical)| TruthLine {
+        user: *user,
+        vertical: *vertical,
+    });
     for line in lines {
         serde_json::to_writer(&mut out, &line).map_err(|e| IoError::Parse {
             line: 0,
@@ -205,20 +220,9 @@ pub fn write_truth<W: Write>(
 /// Reads a ground-truth map written by [`write_truth`].
 pub fn read_truth<R: BufRead>(
     input: R,
-) -> Result<std::collections::HashMap<u64, wtr_model::vertical::Vertical>, IoError> {
-    let mut out = std::collections::HashMap::new();
-    for (idx, line) in input.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let t: TruthLine = serde_json::from_str(&line).map_err(|e| IoError::Parse {
-            line: idx + 1,
-            message: e.to_string(),
-        })?;
-        out.insert(t.user, t.vertical);
-    }
-    Ok(out)
+) -> Result<BTreeMap<u64, wtr_model::vertical::Vertical>, IoError> {
+    let lines: Vec<TruthLine> = parse_lines(&numbered_lines(input)?)?;
+    Ok(lines.into_iter().map(|t| (t.user, t.vertical)).collect())
 }
 
 #[cfg(test)]
@@ -325,7 +329,7 @@ mod tests {
     #[test]
     fn truth_roundtrip() {
         use wtr_model::vertical::Vertical;
-        let truth: std::collections::HashMap<u64, Vertical> = [
+        let truth: BTreeMap<u64, Vertical> = [
             (7u64, Vertical::SmartMeter),
             (3, Vertical::Smartphone),
             (9, Vertical::ConnectedCar),
@@ -336,7 +340,7 @@ mod tests {
         write_truth(&mut buf, &truth).unwrap();
         let back = read_truth(&buf[..]).unwrap();
         assert_eq!(back, truth);
-        // Stable export: byte-identical across runs despite HashMap order.
+        // Stable export: byte-identical across runs.
         let mut buf2 = Vec::new();
         write_truth(&mut buf2, &truth).unwrap();
         assert_eq!(buf, buf2);

@@ -171,6 +171,72 @@ impl MnoProbe {
     fn label_for(&self, sim: Plmn, visited: Plmn) -> Option<RoamingLabel> {
         RoamingLabel::derive(self.studied, &self.registry, sim, visited)
     }
+
+    /// A probe with the same configuration but no accumulated state —
+    /// the chunk-local accumulator of the parallel ingest path.
+    fn fork_empty(&self) -> MnoProbe {
+        let window_days = self.catalog.window_days();
+        MnoProbe {
+            studied: self.studied,
+            registry: self.registry.clone(),
+            home_network: self.home_network.clone(),
+            key: self.key,
+            catalog: DevicesCatalog::new(window_days),
+            raw_radio: Vec::new(),
+            raw_cdrs: Vec::new(),
+            raw_xdrs: Vec::new(),
+            retain_raw: self.retain_raw,
+            designated_ranges: self.designated_ranges.clone(),
+            published_m2m_ranges: self.published_m2m_ranges.clone(),
+            element_load: vec![ElementLoad::default(); self.element_load.len()],
+            radio_events: 0,
+            cdr_count: 0,
+            xdr_count: 0,
+        }
+    }
+
+    /// Folds a chunk-local probe (built from a *later* slice of the event
+    /// stream) into this one. Catalog rows merge with first-touch identity
+    /// preserved, raw records append in stream order, element loads and
+    /// counters add.
+    fn absorb(&mut self, other: MnoProbe) {
+        self.catalog.merge(other.catalog);
+        self.raw_radio.extend(other.raw_radio);
+        self.raw_cdrs.extend(other.raw_cdrs);
+        self.raw_xdrs.extend(other.raw_xdrs);
+        for (mine, theirs) in self.element_load.iter_mut().zip(other.element_load) {
+            mine.merge(theirs);
+        }
+        self.radio_events += other.radio_events;
+        self.cdr_count += other.cdr_count;
+        self.xdr_count += other.xdr_count;
+    }
+
+    /// Ingests a batch of events, sharding the work over worker threads
+    /// (`wtr_sim::par`) while producing output byte-identical to feeding
+    /// each event through [`EventSink::on_event`] serially.
+    ///
+    /// Events must be in stream order (the order a serial run would see
+    /// them); consecutive chunks are folded into chunk-local probes and
+    /// merged left-to-right, so first-touch row identity — the label a
+    /// (device, day) row keeps — is decided by the earliest event exactly
+    /// as in the serial path.
+    pub fn ingest_batch(&mut self, events: &[SimEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let template = self.fork_empty();
+        let partials = wtr_sim::par::chunked_map(events, |chunk| {
+            let mut p = template.fork_empty();
+            for e in chunk {
+                p.on_event(e);
+            }
+            p
+        });
+        for p in partials {
+            self.absorb(p);
+        }
+    }
 }
 
 impl EventSink for MnoProbe {

@@ -14,7 +14,7 @@
 
 use crate::universe::Universe;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wtr_model::country::{Country, Region};
 use wtr_model::hash::{anonymize_u64, AnonKey};
 use wtr_model::ids::{Imei, Plmn, Tac};
@@ -78,7 +78,7 @@ pub struct M2mScenarioOutput {
     /// The §3.1-schema transaction log, time-ordered.
     pub transactions: Vec<M2mTransaction>,
     /// Ground truth per anonymized device ID.
-    pub ground_truth: HashMap<u64, M2mGroundTruth>,
+    pub ground_truth: BTreeMap<u64, M2mGroundTruth>,
     /// Total devices simulated.
     pub devices: usize,
     /// Window length.
@@ -212,7 +212,7 @@ impl M2mScenario {
         );
         let horizon = SimTime::from_secs(cfg.days as u64 * 86_400);
         let mut engine = Engine::new(world, horizon);
-        let mut ground_truth = HashMap::with_capacity(specs.len());
+        let mut ground_truth = BTreeMap::new();
         for (spec, truth) in specs.into_iter().zip(truths) {
             let anon = anonymize_u64(AnonKey::FIXED, spec.imsi.packed());
             ground_truth.insert(anon, truth);
@@ -494,7 +494,7 @@ mod tests {
     #[test]
     fn hmno_shares_close_to_paper() {
         let out = small();
-        let mut by_hmno: HashMap<u16, usize> = HashMap::new();
+        let mut by_hmno: BTreeMap<u16, usize> = BTreeMap::new();
         for t in &out.ground_truth {
             *by_hmno.entry(t.1.hmno.mcc.value()).or_insert(0) += 1;
         }

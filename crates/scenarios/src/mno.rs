@@ -30,7 +30,7 @@
 
 use crate::universe::Universe;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use wtr_model::apn::Apn;
 use wtr_model::country::Country;
 use wtr_model::hash::{anonymize_u64, AnonKey};
@@ -106,7 +106,7 @@ pub struct MnoScenarioOutput {
     /// The daily devices-catalog the probe built.
     pub catalog: DevicesCatalog,
     /// Ground-truth vertical per anonymized device ID (validation only).
-    pub ground_truth: HashMap<u64, Vertical>,
+    pub ground_truth: BTreeMap<u64, Vertical>,
     /// The GSMA-like TAC catalog (the classifier's device-property input).
     pub tacdb: TacDatabase,
     /// The studied MNO's dedicated SMIP IMSI range.
@@ -202,7 +202,7 @@ impl MnoScenario {
             cfg.seed,
         );
         let mut engine = Engine::new(world, SimTime::from_secs(cfg.days as u64 * 86_400));
-        let mut ground_truth = HashMap::with_capacity(specs.len());
+        let mut ground_truth = BTreeMap::new();
         for (spec, vertical) in specs.into_iter().zip(truth) {
             ground_truth.insert(anonymize_u64(AnonKey::FIXED, spec.imsi.packed()), vertical);
             engine.add_agent(DeviceAgent::new(spec, cfg.seed));

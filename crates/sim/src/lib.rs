@@ -36,6 +36,7 @@ pub mod device;
 pub mod engine;
 pub mod events;
 pub mod mobility;
+pub mod par;
 pub mod rng;
 pub mod traffic;
 pub mod world;
@@ -46,6 +47,7 @@ pub use events::{
     DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall,
 };
 pub use mobility::MobilityModel;
+pub use par::{par_map, par_map_reduce};
 pub use rng::SubstreamRng;
 pub use traffic::TrafficProfile;
 pub use world::{AccessDecision, AccessPolicy, AllowAllPolicy, NetworkDirectory, RoamingWorld};

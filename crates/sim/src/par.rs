@@ -1,0 +1,267 @@
+//! Deterministic parallel map-reduce over slices.
+//!
+//! The helpers here are the workspace's only concurrency layer: plain
+//! `std::thread::scope` fan-out with **order-stable** merging, so every
+//! pipeline stage produces byte-identical output at 1, 2 or N worker
+//! threads.
+//!
+//! # Determinism by construction
+//!
+//! Work is split into fixed chunks whose size is a pure function of the
+//! input length only (never of the thread count, see [`chunk_size`]).
+//! Each chunk is folded independently into a partial accumulator, and
+//! the partials are merged **left to right in chunk-index order** — even
+//! when running serially, the same chunk boundaries are used, so the
+//! sequence of `fold`/`merge` calls (and thus any floating-point
+//! rounding) is identical regardless of how many threads executed them.
+//!
+//! Consequently callers only need `merge` to be associative *in
+//! structure*, not commutative: "first chunk wins" semantics (e.g. keep
+//! the identity fields from the earliest event) survive parallel
+//! execution unchanged.
+//!
+//! # Thread-count knob
+//!
+//! The worker count resolves, in priority order, from
+//! [`set_threads`] (in-process override, used by the determinism test
+//! matrix), the `WTR_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// In-process thread-count override; `0` means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for all subsequent parallel calls
+/// in this process. `Some(n)` forces `n` (clamped to at least 1);
+/// `None` clears the override, restoring `WTR_THREADS` / autodetection.
+///
+/// This exists mainly for tests that assert byte-identical output
+/// across thread counts without respawning the process.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::SeqCst);
+}
+
+/// Resolves the effective worker-thread count.
+///
+/// Priority: [`set_threads`] override, then the `WTR_THREADS`
+/// environment variable (parsed as a positive integer; invalid values
+/// are ignored), then [`std::thread::available_parallelism`], falling
+/// back to 1.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("WTR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Minimum number of items per chunk; below this, parallel dispatch
+/// costs more than it saves.
+const MIN_CHUNK: usize = 256;
+/// Maximum number of chunks per call; bounds per-call bookkeeping.
+const MAX_CHUNKS: usize = 64;
+
+/// Chunk size used to shard `n` items.
+///
+/// This is a pure function of `n` **only** — never of the thread count —
+/// which is the linchpin of the determinism guarantee: the partial
+/// accumulators computed per chunk are identical no matter how many
+/// threads the chunks were distributed over.
+pub fn chunk_size(n: usize) -> usize {
+    n.div_ceil(MAX_CHUNKS).max(MIN_CHUNK)
+}
+
+/// Folds every chunk of `items` with `fold` (starting from `identity`)
+/// and merges the per-chunk partials left-to-right in chunk order.
+///
+/// `fold(acc, item)` absorbs one item into a chunk-local accumulator;
+/// `merge(left, right)` combines two adjacent partials where `left`
+/// covers strictly earlier items than `right`. Because partials are
+/// always merged in chunk-index order, `merge` may rely on that
+/// ordering ("first wins" is safe); it does not need to be commutative.
+///
+/// Runs serially (same chunking, same call sequence) when the input is
+/// small or only one worker thread is configured.
+pub fn par_map_reduce<T, A, I, F, M>(items: &[T], identity: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let partials = chunked_map(items, |chunk| chunk.iter().fold(identity(), &fold));
+    let mut out = identity();
+    for p in partials {
+        out = merge(out, p);
+    }
+    out
+}
+
+/// Maps every item through `f`, preserving input order in the output.
+///
+/// The mapping closure must be pure with respect to item position
+/// (which it sees only via the item itself), so the concatenation of
+/// per-chunk outputs is identical to a serial map.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunks = chunked_map(items, |chunk| chunk.iter().map(&f).collect::<Vec<U>>());
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Applies `f` to each fixed-size chunk of `items`, returning the
+/// per-chunk results in chunk-index order.
+///
+/// This is the shared engine behind [`par_map`] and
+/// [`par_map_reduce`]: chunk boundaries come from [`chunk_size`], and
+/// chunks are assigned to scoped worker threads in contiguous runs.
+/// Each worker returns `(chunk_index, result)` pairs which are sorted
+/// back into chunk order before returning, so callers observe a
+/// deterministic sequence regardless of scheduling.
+pub fn chunked_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let size = chunk_size(items.len());
+    let chunks: Vec<&[T]> = items.chunks(size).collect();
+    let workers = threads().min(chunks.len());
+    if workers <= 1 || chunks.len() <= 1 {
+        return chunks.into_iter().map(&f).collect();
+    }
+
+    // Contiguous chunk-range per worker; ranges are a pure function of
+    // (chunk count, worker count) so assignment is reproducible too.
+    let per = chunks.len().div_ceil(workers);
+    let f = &f;
+    let chunks = &chunks;
+    let mut indexed: Vec<(usize, U)> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * per;
+            let hi = ((w + 1) * per).min(chunks.len());
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || {
+                (lo..hi)
+                    .map(|i| (i, f(chunks[i])))
+                    .collect::<Vec<(usize, U)>>()
+            }));
+        }
+        for h in handles {
+            indexed.extend(h.join().expect("wtr-sim::par worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that mutate the global override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chunk_size_is_pure_in_n() {
+        assert_eq!(chunk_size(1), MIN_CHUNK);
+        assert_eq!(chunk_size(MIN_CHUNK * MAX_CHUNKS), MIN_CHUNK);
+        // Large inputs: at most MAX_CHUNKS chunks.
+        let n: usize = 1_000_000;
+        assert!(n.div_ceil(chunk_size(n)) <= MAX_CHUNKS);
+    }
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..10_000).collect();
+        let mut outputs = Vec::new();
+        for t in [1usize, 2, 8] {
+            set_threads(Some(t));
+            outputs.push(par_map(&items, |x| x * 3 + 1));
+        }
+        set_threads(None);
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0][7], 22);
+    }
+
+    #[test]
+    fn reduce_is_bitwise_stable_for_floats() {
+        let _g = LOCK.lock().unwrap();
+        // Float addition is not associative, so a naive parallel sum
+        // would drift with thread count. Fixed chunking + ordered merge
+        // must keep the bits identical.
+        let items: Vec<f64> = (0..50_000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let sum = |t: usize| {
+            set_threads(Some(t));
+            let s = par_map_reduce(&items, || 0.0f64, |a, x| a + x, |a, b| a + b);
+            set_threads(None);
+            s.to_bits()
+        };
+        let s1 = sum(1);
+        assert_eq!(s1, sum(2));
+        assert_eq!(s1, sum(8));
+    }
+
+    #[test]
+    fn reduce_supports_first_wins_merge() {
+        let _g = LOCK.lock().unwrap();
+        // Non-commutative merge: keep the first-seen value.
+        let items: Vec<u32> = (0..5_000).collect();
+        for t in [1usize, 2, 8] {
+            set_threads(Some(t));
+            let first = par_map_reduce(
+                &items,
+                || None::<u32>,
+                |a, x| a.or(Some(*x)),
+                |a, b| a.or(b),
+            );
+            assert_eq!(first, Some(0));
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        let one = [9u8];
+        assert_eq!(par_map(&one, |x| *x + 1), vec![10]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+}

@@ -149,7 +149,7 @@ fn main() {
     }
 
     // §4.3 — pipeline vs baselines, scored against hidden ground truth.
-    let truth: std::collections::HashMap<u64, _> = summaries
+    let truth: std::collections::BTreeMap<u64, _> = summaries
         .iter()
         .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
         .collect();

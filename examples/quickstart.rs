@@ -63,7 +63,7 @@ fn main() {
 
     // 5. Score against the simulator's hidden ground truth — the check the
     //    paper's authors could not run.
-    let truth: std::collections::HashMap<u64, _> = summaries
+    let truth: std::collections::BTreeMap<u64, _> = summaries
         .iter()
         .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
         .collect();

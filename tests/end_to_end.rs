@@ -6,7 +6,7 @@
 //! must be robust to seed and scale, while still failing if a shape flips
 //! (e.g. inbound roamers stop being mostly M2M).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use where_things_roam::core::analysis::activity::{self, StatusGroup};
 use where_things_roam::core::analysis::population;
@@ -27,7 +27,7 @@ struct Fixture {
     output: MnoScenarioOutput,
     summaries: Vec<DeviceSummary>,
     classification: Classification,
-    truth: HashMap<u64, Vertical>,
+    truth: BTreeMap<u64, Vertical>,
 }
 
 fn fixture() -> &'static Fixture {

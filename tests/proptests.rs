@@ -99,15 +99,12 @@ proptest! {
     fn apn_roundtrip(labels in prop::collection::vec("[a-z][a-z0-9-]{0,8}", 1..4), has_oi in prop::bool::ANY, plmn in arb_plmn()) {
         let ni = labels.join(".");
         prop_assume!(!ni.ends_with("gprs"));
-        // The OI wire form always writes 3 MNC digits and the parser
-        // canonicalizes values ≤ 99 back to the 2-digit convention, so
-        // roundtrip is exact on the *canonical* PLMN.
-        let canonical = if plmn.mnc.value() <= 99 {
-            Plmn::new(plmn.mcc, Mnc::new2(plmn.mnc.value()).unwrap())
-        } else {
-            plmn
-        };
-        let apn = Apn::new(&ni, has_oi.then_some(canonical)).unwrap();
+        // `Apn::new` canonicalizes the operator MNC itself (the OI wire
+        // form always writes 3 digits, so digit count carries no
+        // information there), making construction/parse a true roundtrip
+        // for ANY valid PLMN. The historical failure (3-digit MNC ≤ 99,
+        // e.g. 200-000) stays pinned in the checked-in regression file.
+        let apn = Apn::new(&ni, has_oi.then_some(plmn)).unwrap();
         let back: Apn = apn.to_string().parse().unwrap();
         prop_assert_eq!(back, apn);
     }
