@@ -18,10 +18,19 @@ fn bench(c: &mut Criterion) {
         b.iter(|| summarize(black_box(&art.output.catalog)))
     });
     g.bench_function("full_pipeline", |b| {
-        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)))
+        b.iter(|| {
+            Classifier::new(&art.output.tacdb)
+                .classify(black_box(&art.summaries), art.output.catalog.apn_table())
+        })
     });
     g.bench_function("ablation_apn_only", |b| {
-        b.iter(|| apn_only_baseline(&art.output.tacdb, black_box(&art.summaries)))
+        b.iter(|| {
+            apn_only_baseline(
+                &art.output.tacdb,
+                black_box(&art.summaries),
+                art.output.catalog.apn_table(),
+            )
+        })
     });
     g.bench_function("ablation_vendor_only", |b| {
         b.iter(|| vendor_baseline(&art.output.tacdb, black_box(&art.summaries)))

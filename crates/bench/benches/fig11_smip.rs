@@ -7,10 +7,20 @@ use wtr_core::analysis::smip;
 
 fn bench(c: &mut Criterion) {
     let art = bench_mno();
-    let pop = smip::identify(&art.summaries, &art.output.tacdb);
+    let pop = smip::identify(
+        &art.summaries,
+        &art.output.tacdb,
+        art.output.catalog.apn_table(),
+    );
     let mut g = c.benchmark_group("fig11_smip");
     g.bench_function("identify", |b| {
-        b.iter(|| smip::identify(black_box(&art.summaries), black_box(&art.output.tacdb)))
+        b.iter(|| {
+            smip::identify(
+                black_box(&art.summaries),
+                black_box(&art.output.tacdb),
+                art.output.catalog.apn_table(),
+            )
+        })
     });
     g.bench_function("group_stats", |b| {
         b.iter(|| {

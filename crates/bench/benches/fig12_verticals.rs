@@ -8,7 +8,7 @@ use wtr_core::analysis::verticals;
 fn bench(c: &mut Criterion) {
     let art = bench_mno();
     c.bench_function("fig12_verticals_compare", |b| {
-        b.iter(|| verticals::compare(black_box(&art.summaries)))
+        b.iter(|| verticals::compare(black_box(&art.summaries), art.output.catalog.apn_table()))
     });
 }
 

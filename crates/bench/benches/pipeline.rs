@@ -10,6 +10,7 @@ use wtr_core::classify::Classifier;
 use wtr_core::metrics::Ecdf;
 use wtr_core::summary::summarize;
 use wtr_model::hash::{anonymize_u64, AnonKey};
+use wtr_probes::io as probe_io;
 use wtr_probes::wire;
 use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig};
 use wtr_sim::par;
@@ -61,11 +62,17 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("classify_t1", |b| {
         par::set_threads(Some(1));
-        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)));
+        b.iter(|| {
+            Classifier::new(&art.output.tacdb)
+                .classify(black_box(&art.summaries), art.output.catalog.apn_table())
+        });
         par::set_threads(None);
     });
     g.bench_function("classify_tN", |b| {
-        b.iter(|| Classifier::new(&art.output.tacdb).classify(black_box(&art.summaries)));
+        b.iter(|| {
+            Classifier::new(&art.output.tacdb)
+                .classify(black_box(&art.summaries), art.output.catalog.apn_table())
+        });
     });
     let samples: Vec<f64> = (0..400_000u64)
         .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64)
@@ -86,6 +93,111 @@ fn bench(c: &mut Criterion) {
     g.bench_function("encode", |b| b.iter(|| wire::encode_log(black_box(txs))));
     g.bench_function("decode", |b| {
         b.iter(|| wire::decode_log(black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+
+    // Storage-format throughput: catalog JSONL vs columnar WTRCAT, plus
+    // the WTRM2M transaction codec as the fixed-width reference. The
+    // eprintln reports serialized sizes so a run records the compression
+    // ratio next to the timings (BENCH_PR2.json).
+    let catalog = &art.output.catalog;
+    let mut jsonl = Vec::new();
+    probe_io::write_catalog(&mut jsonl, catalog).unwrap();
+    let wtrcat = wire::encode_catalog(catalog);
+    eprintln!(
+        "io_throughput sizes: catalog rows {} | JSONL {} B ({:.1} B/row) | WTRCAT {} B \
+         ({:.1} B/row, {:.2}x smaller) | WTRM2M {} txs {} B",
+        catalog.len(),
+        jsonl.len(),
+        jsonl.len() as f64 / catalog.len() as f64,
+        wtrcat.len(),
+        wtrcat.len() as f64 / catalog.len() as f64,
+        jsonl.len() as f64 / wtrcat.len() as f64,
+        txs.len(),
+        encoded.len(),
+    );
+    let mut g = c.benchmark_group("io_throughput");
+    g.sample_size(10);
+    g.bench_function("catalog_jsonl_write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(jsonl.len());
+            probe_io::write_catalog(&mut out, black_box(catalog)).unwrap();
+            out
+        })
+    });
+    g.bench_function("catalog_jsonl_read", |b| {
+        b.iter(|| probe_io::read_catalog(black_box(&jsonl[..])).unwrap())
+    });
+    g.bench_function("catalog_wtrcat_encode", |b| {
+        b.iter(|| wire::encode_catalog(black_box(catalog)))
+    });
+    g.bench_function("catalog_wtrcat_decode", |b| {
+        b.iter(|| wire::decode_catalog(black_box(&wtrcat)).unwrap())
+    });
+    g.bench_function("wtrm2m_encode", |b| {
+        b.iter(|| wire::encode_log(black_box(txs)))
+    });
+    g.bench_function("wtrm2m_decode", |b| {
+        b.iter(|| wire::decode_log(black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+
+    // Ablation for the intern-table tentpole, on the acceptance-criteria
+    // scenario (400 devices / 5 days, heavily repeated APNs): the current
+    // per-symbol verdict pipeline vs the pre-PR String path — one
+    // `to_ascii_lowercase` allocation plus a full keyword substring
+    // rescan per (device, APN) pair, for both the M2M and the consumer
+    // keyword lists. Same inputs, same propagation; only the APN
+    // representation work differs.
+    let abl = MnoScenario::new(MnoScenarioConfig {
+        devices: 400,
+        days: 5,
+        seed: 5,
+        nbiot_meter_fraction: 0.0,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let mut g = c.benchmark_group("classify_ablation");
+    g.sample_size(10);
+    g.bench_function("interned_symbols", |b| {
+        b.iter(|| {
+            let summaries = summarize(black_box(&abl.catalog));
+            Classifier::new(&abl.tacdb).classify(&summaries, abl.catalog.apn_table())
+        })
+    });
+    g.bench_function("string_rescan_baseline", |b| {
+        use std::collections::{BTreeMap, BTreeSet};
+        use wtr_core::keywords::{CONSUMER_KEYWORDS, M2M_KEYWORDS};
+        let apns = abl.catalog.apn_table();
+        b.iter(|| {
+            let summaries = summarize(black_box(&abl.catalog));
+            // Reproduce the old representation's cost, removed by the
+            // intern table: (a) summarize used to union per-device
+            // `BTreeSet<String>` APN sets, cloning every string once per
+            // (device, day) row it appeared on…
+            let mut string_sets: BTreeMap<u64, BTreeSet<String>> = BTreeMap::new();
+            for row in abl.catalog.iter() {
+                let set = string_sets.entry(row.user).or_default();
+                for &sym in &row.apns {
+                    set.insert(apns.resolve(sym).to_owned());
+                }
+            }
+            // …and (b) the classifier recomputed lowercase + substring
+            // keyword verdicts per (device, APN) pair (steps 1, 3, 4).
+            let mut verdicts = Vec::with_capacity(64);
+            for (user, set) in &string_sets {
+                for apn in set {
+                    let lower = apn.to_ascii_lowercase();
+                    let m2m = M2M_KEYWORDS.iter().any(|(kw, _)| lower.contains(kw));
+                    let consumer = CONSUMER_KEYWORDS.iter().any(|kw| lower.contains(kw));
+                    verdicts.push((*user, m2m, consumer));
+                }
+            }
+            let classification = Classifier::new(&abl.tacdb).classify(&summaries, apns);
+            (verdicts, classification)
+        })
     });
     g.finish();
 

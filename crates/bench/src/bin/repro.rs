@@ -147,12 +147,16 @@ fn emit_json(args: &Args) {
         &[DeviceClass::M2m],
         Plane::Any,
     );
-    let pop = smip::identify(&art.summaries, &art.output.tacdb);
+    let pop = smip::identify(
+        &art.summaries,
+        &art.output.tacdb,
+        art.output.catalog.apn_table(),
+    );
     let native = smip::group_stats(&art.summaries, &pop.native, art.output.days);
     let roaming = smip::group_stats(&art.summaries, &pop.roaming, art.output.days);
     let truth = art.observed_truth();
     let full = validate(&art.classification, &truth);
-    let (cars, meters) = verticals::compare(&art.summaries);
+    let (cars, meters) = verticals::compare(&art.summaries, art.output.catalog.apn_table());
 
     let doc = json!({
         "scale": {
@@ -834,7 +838,11 @@ fn main() {
 
         if wanted(&args, "e15") || wanted(&args, "e16") || wanted(&args, "e17") {
             println!("\n--- E15–E17 (Fig. 11, §7.1): SMIP smart meters ---");
-            let pop = smip::identify(&art.summaries, &art.output.tacdb);
+            let pop = smip::identify(
+                &art.summaries,
+                &art.output.tacdb,
+                art.output.catalog.apn_table(),
+            );
             let native = smip::group_stats(&art.summaries, &pop.native, art.output.days);
             let roaming = smip::group_stats(&art.summaries, &pop.roaming, art.output.days);
             println!(
@@ -936,7 +944,7 @@ fn main() {
 
         if wanted(&args, "e18") {
             println!("\n--- E18 (Fig. 12): connected cars vs smart meters ---");
-            let (cars, meters) = verticals::compare(&art.summaries);
+            let (cars, meters) = verticals::compare(&art.summaries, art.output.catalog.apn_table());
             println!(
                 "  identified: {} cars, {} meters (inbound)",
                 cars.devices, meters.devices
@@ -1032,7 +1040,11 @@ fn main() {
             let full = validate(&art.classification, &truth);
             let vendor = validate(&vendor_baseline(&art.output.tacdb, &art.summaries), &truth);
             let apn = validate(
-                &apn_only_baseline(&art.output.tacdb, &art.summaries),
+                &apn_only_baseline(
+                    &art.output.tacdb,
+                    &art.summaries,
+                    art.output.catalog.apn_table(),
+                ),
                 &truth,
             );
             let fmt = |v: &wtr_core::validate::Validation| {

@@ -35,7 +35,8 @@ impl MnoArtifacts {
     pub fn build(config: MnoScenarioConfig) -> MnoArtifacts {
         let output = MnoScenario::new(config).run();
         let summaries = summarize(&output.catalog);
-        let classification = Classifier::new(&output.tacdb).classify(&summaries);
+        let classification =
+            Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
         MnoArtifacts {
             output,
             summaries,

@@ -13,6 +13,7 @@ use wtr_core::baseline;
 use wtr_core::classify::{Classification, Classifier, DeviceClass};
 use wtr_core::report;
 use wtr_core::summary::{summarize, DeviceSummary};
+use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::TacDatabase;
 use wtr_probes::catalog::DevicesCatalog;
 use wtr_probes::io as probe_io;
@@ -32,7 +33,9 @@ fn open_in(path: &str) -> Result<BufReader<File>, String> {
 
 fn load_catalog(args: &Args) -> Result<DevicesCatalog, String> {
     let path = args.require("catalog")?;
-    probe_io::read_catalog(open_in(path)?).map_err(|e| format!("{path}: {e}"))
+    // Sniffs the WTRCAT magic, so both the JSONL and the columnar binary
+    // exports load through every analysis command.
+    probe_io::read_catalog_auto(open_in(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
 /// `wtr simulate-mno`: run the §4–§7 scenario and export the catalog.
@@ -41,6 +44,7 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         argv,
         &[
             "out",
+            "out-bin",
             "truth",
             "devices",
             "days",
@@ -52,8 +56,9 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
     )?;
     if args.flag("help") {
         println!(
-            "wtr simulate-mno --out catalog.jsonl [--truth truth.jsonl] [--devices N] [--days D] \
-             [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] [--record-loss F]"
+            "wtr simulate-mno --out catalog.jsonl [--out-bin catalog.wtrcat] [--truth truth.jsonl] \
+             [--devices N] [--days D] [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] \
+             [--record-loss F]"
         );
         return Ok(());
     }
@@ -80,6 +85,12 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         output.catalog.len(),
         output.catalog.device_count()
     );
+    if let Some(bin_path) = args.get("out-bin") {
+        let mut out = open_out(bin_path)?;
+        probe_io::write_catalog_bin(&mut out, &output.catalog).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote columnar WTRCAT catalog to {bin_path}");
+    }
     if let Some(truth_path) = args.get("truth") {
         let mut out = open_out(truth_path)?;
         probe_io::write_truth(&mut out, &output.ground_truth).map_err(|e| e.to_string())?;
@@ -110,7 +121,7 @@ pub fn validate_cmd(argv: &[String]) -> Result<(), String> {
     let summaries = summarize(&catalog);
     let tacdb = TacDatabase::standard();
     let pipeline = args.get("pipeline").unwrap_or("full");
-    let classification = classify_with(pipeline, &tacdb, &summaries)?;
+    let classification = classify_with(pipeline, &tacdb, &summaries, catalog.apn_table())?;
     let v = wtr_core::validate::validate(&classification, &truth);
     println!("pipeline: {pipeline}");
     println!("devices scored: {}", v.matrix.total());
@@ -190,10 +201,11 @@ fn classify_with(
     pipeline: &str,
     tacdb: &TacDatabase,
     summaries: &[DeviceSummary],
+    apns: &ApnTable,
 ) -> Result<Classification, String> {
     match pipeline {
-        "full" => Ok(Classifier::new(tacdb).classify(summaries)),
-        "apn" => Ok(baseline::apn_only_baseline(tacdb, summaries)),
+        "full" => Ok(Classifier::new(tacdb).classify(summaries, apns)),
+        "apn" => Ok(baseline::apn_only_baseline(tacdb, summaries, apns)),
         "vendor" => Ok(baseline::vendor_baseline(tacdb, summaries)),
         "range" => Ok(baseline::imsi_range_baseline(tacdb, summaries)),
         other => Err(format!(
@@ -213,7 +225,7 @@ pub fn classify(argv: &[String]) -> Result<(), String> {
     let summaries = summarize(&catalog);
     let tacdb = TacDatabase::standard();
     let pipeline = args.get("pipeline").unwrap_or("full");
-    let classification = classify_with(pipeline, &tacdb, &summaries)?;
+    let classification = classify_with(pipeline, &tacdb, &summaries, catalog.apn_table())?;
     println!("pipeline: {pipeline}");
     println!("devices: {}", summaries.len());
     for (class, share) in classification.shares() {
@@ -243,7 +255,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
     let catalog = load_catalog(&args)?;
     let summaries = summarize(&catalog);
     let tacdb = TacDatabase::standard();
-    let classification = Classifier::new(&tacdb).classify(&summaries);
+    let classification = Classifier::new(&tacdb).classify(&summaries, catalog.apn_table());
     let mut wanted: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
     if wanted.is_empty() {
         wanted = vec![
@@ -335,7 +347,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 }
             }
             "smip" => {
-                let pop = smip::identify(&summaries, &tacdb);
+                let pop = smip::identify(&summaries, &tacdb, catalog.apn_table());
                 let native = smip::group_stats(&summaries, &pop.native, catalog.window_days());
                 let roaming = smip::group_stats(&summaries, &pop.roaming, catalog.window_days());
                 println!(
@@ -349,7 +361,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 );
             }
             "verticals" => {
-                let (cars, meters) = verticals::compare(&summaries);
+                let (cars, meters) = verticals::compare(&summaries, catalog.apn_table());
                 println!(
                     "verticals: {} cars (gyration {:.1} km) vs {} meters (gyration {:.3} km)",
                     cars.devices,

@@ -17,6 +17,7 @@ use crate::metrics::Ecdf;
 use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::TacDatabase;
 
 /// The identified SMIP populations, with the §4.4 verification evidence.
@@ -36,7 +37,13 @@ pub struct SmipPopulation {
 }
 
 /// Identifies SMIP-native and SMIP-roaming meters from device summaries.
-pub fn identify(summaries: &[DeviceSummary], tacdb: &TacDatabase) -> SmipPopulation {
+/// `apns` is the intern table the summaries' symbols resolve through; the
+/// energy-keyword verdict is memoized per distinct symbol.
+pub fn identify(
+    summaries: &[DeviceSummary],
+    tacdb: &TacDatabase,
+    apns: &ApnTable,
+) -> SmipPopulation {
     let mut pop = SmipPopulation {
         native: BTreeSet::new(),
         roaming: BTreeSet::new(),
@@ -44,6 +51,16 @@ pub fn identify(summaries: &[DeviceSummary], tacdb: &TacDatabase) -> SmipPopulat
         roaming_vendors: BTreeSet::new(),
         matched_patterns: BTreeMap::new(),
     };
+    // One keyword scan per distinct APN, not per (device, APN) pair.
+    let energy_kw: Vec<Option<&'static str>> = apns
+        .strings()
+        .iter()
+        .map(|apn| {
+            match_m2m_keyword(apn)
+                .filter(|(_, hint)| *hint == VerticalHint::Energy)
+                .map(|(kw, _)| kw)
+        })
+        .collect();
     for s in summaries {
         if s.in_designated_range && s.dominant_label.is_native_attached() {
             pop.native.insert(s.user);
@@ -52,11 +69,7 @@ pub fn identify(summaries: &[DeviceSummary], tacdb: &TacDatabase) -> SmipPopulat
         if !s.dominant_label.is_international_inbound() {
             continue;
         }
-        let energy_match = s.apns.iter().find_map(|apn| {
-            match_m2m_keyword(apn)
-                .filter(|(_, hint)| *hint == VerticalHint::Energy)
-                .map(|(kw, _)| kw)
-        });
+        let energy_match = s.apns.iter().find_map(|sym| energy_kw[sym.index()]);
         if let Some(kw) = energy_match {
             pop.roaming.insert(s.user);
             pop.roaming_home_plmns.insert(s.sim_plmn.packed());
@@ -148,9 +161,11 @@ mod tests {
         tacs[0]
     }
 
-    fn build() -> (Vec<DeviceSummary>, TacDatabase) {
+    fn build() -> (Vec<DeviceSummary>, TacDatabase, ApnTable) {
         let db = TacDatabase::standard();
         let mut cat = DevicesCatalog::new(10);
+        let centrica = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
+        let scania = cat.intern_apn("fleet.scania.com.mnc002.mcc262.gprs");
         // Native SMIP meter: designated range, active all 10 days, 3G.
         for day in 0..10u32 {
             let r = cat.row_mut(
@@ -176,8 +191,7 @@ mod tests {
             );
             r.events += 30;
             r.failed_events += 2;
-            r.apns
-                .insert("smhp.centricaplc.com.mnc004.mcc204.gprs".into());
+            r.apns.insert(centrica);
             r.radio_flags.record(Rat::G2, true, false);
         }
         // An inbound car (automotive APN): must NOT be identified as SMIP.
@@ -188,14 +202,15 @@ mod tests {
             meter_tac(&db, "Sierra Wireless"),
             RoamingLabel::IH,
         );
-        r.apns.insert("fleet.scania.com.mnc002.mcc262.gprs".into());
-        (summarize(&cat), db)
+        r.apns.insert(scania);
+        let table = cat.apn_table().clone();
+        (summarize(&cat), db, table)
     }
 
     #[test]
     fn identify_partitions_native_and_roaming() {
-        let (sums, db) = build();
-        let pop = identify(&sums, &db);
+        let (sums, db, table) = build();
+        let pop = identify(&sums, &db, &table);
         assert!(pop
             .native
             .contains(&sums.iter().find(|s| s.in_designated_range).unwrap().user));
@@ -213,11 +228,11 @@ mod tests {
 
     #[test]
     fn car_is_not_a_meter() {
-        let (sums, db) = build();
-        let pop = identify(&sums, &db);
+        let (sums, db, table) = build();
+        let pop = identify(&sums, &db, &table);
         let car = sums
             .iter()
-            .find(|s| s.apns.iter().any(|a| a.contains("scania")))
+            .find(|s| s.apns.iter().any(|&a| table.resolve(a).contains("scania")))
             .unwrap();
         assert!(!pop.roaming.contains(&car.user));
         assert!(!pop.native.contains(&car.user));
@@ -225,8 +240,8 @@ mod tests {
 
     #[test]
     fn group_stats_match_fig11_shape() {
-        let (sums, db) = build();
-        let pop = identify(&sums, &db);
+        let (sums, db, table) = build();
+        let pop = identify(&sums, &db, &table);
         let native = group_stats(&sums, &pop.native, 10);
         let roaming = group_stats(&sums, &pop.roaming, 10);
         assert_eq!(native.devices, 1);
@@ -275,7 +290,7 @@ mod tests {
             r.in_designated_range = true;
         }
         let sums = summarize(&cat);
-        let pop = identify(&sums, &db);
+        let pop = identify(&sums, &db, cat.apn_table());
         let stats = group_stats(&sums, &pop.native, 10);
         assert_eq!(stats.devices, 2);
         assert_eq!(stats.active_days_day1_cohort.len(), 1);
@@ -287,7 +302,7 @@ mod tests {
 
     #[test]
     fn empty_group() {
-        let (sums, _) = build();
+        let (sums, _, _) = build();
         let stats = group_stats(&sums, &BTreeSet::new(), 10);
         assert_eq!(stats.devices, 0);
         assert!(stats.active_days.is_empty());

@@ -11,6 +11,7 @@ use crate::keywords::{match_m2m_keyword, VerticalHint};
 use crate::metrics::Ecdf;
 use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
+use wtr_model::intern::ApnTable;
 
 /// Traffic/mobility profile of one identified vertical.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -39,12 +40,18 @@ fn profile_of<'a>(name: &str, devices: impl Iterator<Item = &'a DeviceSummary>) 
 }
 
 /// Splits inbound-roaming devices into verticals by APN hint and profiles
-/// the two Fig. 12 groups.
-pub fn compare(summaries: &[DeviceSummary]) -> (VerticalProfile, VerticalProfile) {
+/// the two Fig. 12 groups. `apns` is the intern table the summaries'
+/// symbols resolve through; the vertical hint is memoized per distinct
+/// symbol.
+pub fn compare(summaries: &[DeviceSummary], apns: &ApnTable) -> (VerticalProfile, VerticalProfile) {
+    // One keyword scan per distinct APN, reused across the population.
+    let hints: Vec<Option<VerticalHint>> = apns
+        .strings()
+        .iter()
+        .map(|a| match_m2m_keyword(a).map(|(_, h)| h))
+        .collect();
     let hint_of = |s: &DeviceSummary| -> Option<VerticalHint> {
-        s.apns
-            .iter()
-            .find_map(|a| match_m2m_keyword(a).map(|(_, h)| h))
+        s.apns.iter().find_map(|sym| hints[sym.index()])
     };
     let cars = profile_of(
         "connected-cars",
@@ -76,12 +83,15 @@ mod tests {
         Tac::new(35_000_000).unwrap()
     }
 
-    fn build() -> Vec<DeviceSummary> {
+    fn build() -> (Vec<DeviceSummary>, ApnTable) {
         let mut cat = DevicesCatalog::new(10);
+        let car_apn = cat.intern_apn("fleet.scania.com.mnc002.mcc262.gprs");
+        let meter_apn = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
+        let native_car_apn = cat.intern_apn("fleet.scania.com");
         // A car: automotive APN, mobile, chatty, data-heavy.
         for day in 0..10u32 {
             let r = cat.row_mut(1, Day(day), Plmn::of(262, 2), tac(), RoamingLabel::IH);
-            r.apns.insert("fleet.scania.com.mnc002.mcc262.gprs".into());
+            r.apns.insert(car_apn);
             r.events += 50;
             r.data_sessions += 20;
             r.bytes_up += 1_000_000;
@@ -96,8 +106,7 @@ mod tests {
         // A meter: energy APN, stationary, quiet.
         for day in 0..10u32 {
             let r = cat.row_mut(2, Day(day), Plmn::of(204, 4), tac(), RoamingLabel::IH);
-            r.apns
-                .insert("smhp.centricaplc.com.mnc004.mcc204.gprs".into());
+            r.apns.insert(meter_apn);
             r.events += 5;
             r.data_sessions += 1;
             r.bytes_up += 1_500;
@@ -105,22 +114,23 @@ mod tests {
         }
         // A native car-APN device: excluded (not inbound roaming).
         let r = cat.row_mut(3, Day(0), Plmn::of(234, 30), tac(), RoamingLabel::HH);
-        r.apns.insert("fleet.scania.com".into());
-        summarize(&cat)
+        r.apns.insert(native_car_apn);
+        let table = cat.apn_table().clone();
+        (summarize(&cat), table)
     }
 
     #[test]
     fn cars_and_meters_separated() {
-        let sums = build();
-        let (cars, meters) = compare(&sums);
+        let (sums, table) = build();
+        let (cars, meters) = compare(&sums, &table);
         assert_eq!(cars.devices, 1);
         assert_eq!(meters.devices, 1);
     }
 
     #[test]
     fn fig12_contrasts_hold() {
-        let sums = build();
-        let (cars, meters) = compare(&sums);
+        let (sums, table) = build();
+        let (cars, meters) = compare(&sums, &table);
         // Mobility: cars travel, meters don't.
         assert!(cars.gyration_km.median().unwrap() > 10.0);
         assert!(meters.gyration_km.median().unwrap() < 0.001);
@@ -137,15 +147,15 @@ mod tests {
 
     #[test]
     fn native_devices_excluded() {
-        let sums = build();
-        let (cars, _) = compare(&sums);
+        let (sums, table) = build();
+        let (cars, _) = compare(&sums, &table);
         // Device 3 has a car APN but is native: excluded.
         assert_eq!(cars.devices, 1);
     }
 
     #[test]
     fn empty_population() {
-        let (cars, meters) = compare(&[]);
+        let (cars, meters) = compare(&[], &ApnTable::new());
         assert_eq!(cars.devices, 0);
         assert_eq!(meters.devices, 0);
         assert!(cars.gyration_km.is_empty());

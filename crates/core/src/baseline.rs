@@ -15,6 +15,7 @@
 use crate::classify::{Classification, DeviceClass};
 use crate::keywords::{is_consumer_apn, match_m2m_keyword};
 use crate::summary::DeviceSummary;
+use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::{GsmaClass, TacDatabase};
 
 /// Vendors treated as M2M by the "big players" baseline.
@@ -43,25 +44,38 @@ pub fn vendor_baseline(tacdb: &TacDatabase, summaries: &[DeviceSummary]) -> Clas
 
 /// The APN-keywords-only baseline: validated APN → `m2m`; consumer APN →
 /// `smart`/`feat` by OS; **no propagation**, so every APN-less device lands
-/// in `m2m-maybe`.
-pub fn apn_only_baseline(tacdb: &TacDatabase, summaries: &[DeviceSummary]) -> Classification {
+/// in `m2m-maybe`. `apns` is the intern table the summaries' symbols
+/// resolve through; keyword verdicts are memoized per distinct symbol.
+pub fn apn_only_baseline(
+    tacdb: &TacDatabase,
+    summaries: &[DeviceSummary],
+    apns: &ApnTable,
+) -> Classification {
     let mut result = Classification::default();
+    // One keyword scan per distinct symbol, reused for every device.
+    let m2m_kw: Vec<Option<&'static str>> = apns
+        .strings()
+        .iter()
+        .map(|a| match_m2m_keyword(a).map(|(kw, _)| kw))
+        .collect();
+    let consumer: Vec<bool> = apns.strings().iter().map(|a| is_consumer_apn(a)).collect();
     for s in summaries {
         if s.apns.is_empty() {
             result.devices_without_apn += 1;
         }
-        let m2m_apn = s.apns.iter().any(|a| {
-            if let Some((kw, _)) = match_m2m_keyword(a) {
-                result.validated_apns.insert(a.clone(), kw.to_owned());
-                true
-            } else {
-                false
+        let mut m2m_apn = false;
+        for &sym in &s.apns {
+            if let Some(kw) = m2m_kw[sym.index()] {
+                result
+                    .validated_apns
+                    .insert(apns.resolve(sym).to_owned(), kw.to_owned());
+                m2m_apn = true;
             }
-        });
+        }
         result.total_apns = result.total_apns.max(result.validated_apns.len());
         let class = if m2m_apn {
             DeviceClass::M2m
-        } else if s.apns.iter().any(|a| is_consumer_apn(a)) {
+        } else if s.apns.iter().any(|sym| consumer[sym.index()]) {
             let os_major = tacdb
                 .get(s.tac)
                 .is_some_and(|i| i.os.is_major_smartphone_os());
@@ -113,7 +127,7 @@ mod tests {
     use wtr_model::roaming::RoamingLabel;
     use wtr_probes::catalog::MobilityAccum;
 
-    fn summary(user: u64, tac: Tac, apns: &[&str]) -> DeviceSummary {
+    fn summary(table: &mut ApnTable, user: u64, tac: Tac, apns: &[&str]) -> DeviceSummary {
         DeviceSummary {
             user,
             sim_plmn: Plmn::of(204, 4),
@@ -123,7 +137,7 @@ mod tests {
             last_day: 0,
             dominant_label: RoamingLabel::IH,
             labels: BTreeSet::from([RoamingLabel::IH]),
-            apns: apns.iter().map(|s| s.to_string()).collect(),
+            apns: apns.iter().map(|s| table.intern(s)).collect(),
             radio_flags: RadioFlags::default(),
             events: 1,
             failed_events: 0,
@@ -148,9 +162,10 @@ mod tests {
     #[test]
     fn vendor_baseline_flags_big_players() {
         let db = TacDatabase::standard();
+        let mut t = ApnTable::new();
         let sums = vec![
-            summary(1, tac_of(&db, "Gemalto"), &[]),
-            summary(2, tac_of(&db, "Quectel"), &[]),
+            summary(&mut t, 1, tac_of(&db, "Gemalto"), &[]),
+            summary(&mut t, 2, tac_of(&db, "Quectel"), &[]),
         ];
         let c = vendor_baseline(&db, &sums);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2m));
@@ -161,12 +176,13 @@ mod tests {
     #[test]
     fn apn_only_baseline_misses_apnless_devices() {
         let db = TacDatabase::standard();
+        let mut t = ApnTable::new();
         let telit = tac_of(&db, "Telit");
         let sums = vec![
-            summary(1, telit, &["telemetry.rwe.de"]),
-            summary(2, telit, &[]), // same hardware, no APN
+            summary(&mut t, 1, telit, &["telemetry.rwe.de"]),
+            summary(&mut t, 2, telit, &[]), // same hardware, no APN
         ];
-        let c = apn_only_baseline(&db, &sums);
+        let c = apn_only_baseline(&db, &sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2m));
         assert_eq!(
             c.class_of(2),
@@ -179,10 +195,11 @@ mod tests {
     #[test]
     fn imsi_range_baseline_uses_only_range_tags() {
         let db = TacDatabase::standard();
+        let mut t = ApnTable::new();
         let telit = tac_of(&db, "Telit");
-        let mut tagged = summary(1, telit, &["telemetry.rwe.de"]);
+        let mut tagged = summary(&mut t, 1, telit, &["telemetry.rwe.de"]);
         tagged.in_published_m2m_range = true;
-        let untagged = summary(2, telit, &["telemetry.rwe.de"]);
+        let untagged = summary(&mut t, 2, telit, &["telemetry.rwe.de"]);
         let c = imsi_range_baseline(&db, &[tagged, untagged]);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2m));
         // Same device, same APN — but no published range, so the
@@ -203,8 +220,9 @@ mod tests {
             tacs.sort();
             tacs[0]
         };
-        let sums = vec![summary(1, phone, &["payandgo.example"])];
-        let c = apn_only_baseline(&db, &sums);
+        let mut t = ApnTable::new();
+        let sums = vec![summary(&mut t, 1, phone, &["payandgo.example"])];
+        let c = apn_only_baseline(&db, &sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::Smart));
     }
 }

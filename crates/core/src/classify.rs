@@ -26,6 +26,7 @@ use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::{GsmaClass, TacDatabase};
 use wtr_sim::par;
 
@@ -120,6 +121,17 @@ impl Classification {
     }
 }
 
+/// Keyword verdict for one distinct APN symbol — computed once per
+/// inventory entry (one allocation-free scan), then reused for every
+/// device carrying the symbol.
+#[derive(Debug, Clone, Copy, Default)]
+struct Verdict {
+    /// Matched an M2M keyword (step 1 validation).
+    m2m: bool,
+    /// Matched a consumer keyword (steps 4–5).
+    consumer: bool,
+}
+
 /// The §4.3 classifier. Borrows the GSMA-like TAC catalog for device
 /// properties.
 #[derive(Debug, Clone, Copy)]
@@ -133,22 +145,43 @@ impl<'a> Classifier<'a> {
         Classifier { tacdb }
     }
 
-    /// Runs the full pipeline over per-device summaries.
-    pub fn classify(&self, summaries: &[DeviceSummary]) -> Classification {
+    /// Runs the full pipeline over per-device summaries. `apns` is the
+    /// intern table the summaries' symbols resolve through — the one of
+    /// the catalog they were summarized from.
+    ///
+    /// Keyword matching is O(distinct APNs), not O(device × APN): the
+    /// classifier computes one keyword verdict per distinct observed symbol
+    /// (a single allocation-free case-insensitive scan each) and then
+    /// classifies every device against the verdict vector with pure
+    /// index lookups.
+    ///
+    /// # Panics
+    /// If a summary carries a symbol not issued by `apns`.
+    pub fn classify(&self, summaries: &[DeviceSummary], apns: &ApnTable) -> Classification {
         let mut result = Classification::default();
 
-        // Step 1: APN inventory + keyword validation.
-        let mut inventory: BTreeSet<&str> = BTreeSet::new();
+        // Step 1: APN inventory + keyword validation, once per *distinct*
+        // symbol. Only symbols actually observed in the summaries form
+        // the inventory (the table may intern more than this population
+        // used, e.g. after catalog merges).
+        let mut observed = vec![false; apns.len()];
         for s in summaries {
-            for apn in &s.apns {
-                inventory.insert(apn.as_str());
+            for sym in &s.apns {
+                observed[sym.index()] = true;
             }
         }
-        result.total_apns = inventory.len();
-        for apn in inventory {
+        let mut verdicts = vec![Verdict::default(); apns.len()];
+        for (sym, apn) in apns.iter() {
+            if !observed[sym.index()] {
+                continue;
+            }
+            result.total_apns += 1;
+            let v = &mut verdicts[sym.index()];
             if let Some((kw, _)) = match_m2m_keyword(apn) {
+                v.m2m = true;
                 result.validated_apns.insert(apn.to_owned(), kw.to_owned());
             }
+            v.consumer = is_consumer_apn(apn);
         }
 
         // Step 2: seed devices using validated APNs — plus the RAT rule
@@ -168,7 +201,7 @@ impl<'a> Classifier<'a> {
                 result.nbiot_detected += 1;
                 continue;
             }
-            if s.apns.iter().any(|a| result.validated_apns.contains_key(a)) {
+            if s.apns.iter().any(|sym| verdicts[sym.index()].m2m) {
                 seeds.insert(s.user);
             }
         }
@@ -193,14 +226,17 @@ impl<'a> Classifier<'a> {
         // the output independent of thread count.
         let seeds = &seeds;
         let propagated = &result.propagated_tacs;
-        let verdicts = par::par_map(summaries, |s| {
+        let apn_verdicts = &verdicts;
+        let device_verdicts = par::par_map(summaries, |s| {
             let info = self.tacdb.get(s.tac);
             let class = if seeds.contains(&s.user) || propagated.contains(&s.tac.value()) {
                 DeviceClass::M2m
             } else {
                 let os_major = info.is_some_and(|i| i.os.is_major_smartphone_os());
                 let gsma_feat = info.is_some_and(|i| i.gsma_class == GsmaClass::FeaturePhone);
-                let uses_consumer = s.apns.iter().any(|a| is_consumer_apn(a));
+                // Memoized per distinct APN: an index lookup, no string
+                // scan and no lowercase allocation per device.
+                let uses_consumer = s.apns.iter().any(|sym| apn_verdicts[sym.index()].consumer);
                 if os_major && (uses_consumer || s.apns.is_empty()) {
                     DeviceClass::Smart
                 } else if gsma_feat || (uses_consumer && !os_major) {
@@ -211,7 +247,7 @@ impl<'a> Classifier<'a> {
             };
             (s.user, class, s.apns.is_empty())
         });
-        for (user, class, no_apn) in verdicts {
+        for (user, class, no_apn) in device_verdicts {
             if no_apn {
                 result.devices_without_apn += 1;
             }
@@ -260,7 +296,7 @@ mod tests {
         tacs[0]
     }
 
-    fn summary(user: u64, tac: Tac, apns: &[&str]) -> DeviceSummary {
+    fn summary(table: &mut ApnTable, user: u64, tac: Tac, apns: &[&str]) -> DeviceSummary {
         DeviceSummary {
             user,
             sim_plmn: Plmn::of(204, 4),
@@ -270,7 +306,7 @@ mod tests {
             last_day: 4,
             dominant_label: RoamingLabel::IH,
             labels: BTreeSet::from([RoamingLabel::IH]),
-            apns: apns.iter().map(|s| s.to_string()).collect(),
+            apns: apns.iter().map(|s| table.intern(s)).collect(),
             radio_flags: RadioFlags::default(),
             events: 10,
             failed_events: 0,
@@ -289,13 +325,15 @@ mod tests {
     #[test]
     fn validated_apn_seeds_m2m() {
         let db = tacdb();
+        let mut t = ApnTable::new();
         let gemalto = tac_of(&db, "Gemalto");
         let sums = vec![summary(
+            &mut t,
             1,
             gemalto,
             &["smhp.centricaplc.com.mnc004.mcc204.gprs"],
         )];
-        let c = Classifier::new(&db).classify(&sums);
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2m));
         assert_eq!(c.validated_apns.len(), 1);
         assert!(c.propagated_tacs.contains(&gemalto.value()));
@@ -307,12 +345,13 @@ mod tests {
         // validated device — propagation classifies it m2m, which is the
         // paper's answer to the 21%-no-APN problem.
         let db = tacdb();
+        let mut t = ApnTable::new();
         let telit = tac_of(&db, "Telit");
         let sums = vec![
-            summary(1, telit, &["telemetry.rwe.de.mnc002.mcc262.gprs"]),
-            summary(2, telit, &[]),
+            summary(&mut t, 1, telit, &["telemetry.rwe.de.mnc002.mcc262.gprs"]),
+            summary(&mut t, 2, telit, &[]),
         ];
-        let c = Classifier::new(&db).classify(&sums);
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(2), Some(DeviceClass::M2m));
         assert_eq!(c.devices_without_apn, 1);
     }
@@ -320,28 +359,31 @@ mod tests {
     #[test]
     fn smartphone_by_os_and_consumer_apn() {
         let db = tacdb();
+        let mut t = ApnTable::new();
         let phone = phone_tac(&db);
-        let sums = vec![summary(1, phone, &["payandgo.example"])];
-        let c = Classifier::new(&db).classify(&sums);
+        let sums = vec![summary(&mut t, 1, phone, &["payandgo.example"])];
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::Smart));
     }
 
     #[test]
     fn feature_phone_by_gsma_class() {
         let db = tacdb();
+        let mut t = ApnTable::new();
         let feat = feature_tac(&db);
-        let sums = vec![summary(1, feat, &[])];
-        let c = Classifier::new(&db).classify(&sums);
+        let sums = vec![summary(&mut t, 1, feat, &[])];
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::Feat));
     }
 
     #[test]
     fn module_without_apn_is_m2m_maybe() {
         let db = tacdb();
+        let mut t = ApnTable::new();
         let gemalto = tac_of(&db, "Gemalto");
         // No validated-APN device shares this TAC in this population.
-        let sums = vec![summary(1, gemalto, &[])];
-        let c = Classifier::new(&db).classify(&sums);
+        let sums = vec![summary(&mut t, 1, gemalto, &[])];
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2mMaybe));
     }
 
@@ -350,12 +392,13 @@ mod tests {
         // A handset that touched an M2M APN is itself m2m (it used the
         // vertical's APN), but its TAC must not contaminate other handsets.
         let db = tacdb();
+        let mut t = ApnTable::new();
         let phone = phone_tac(&db);
         let sums = vec![
-            summary(1, phone, &["fleet.scania.com"]),
-            summary(2, phone, &["payandgo.example"]),
+            summary(&mut t, 1, phone, &["fleet.scania.com"]),
+            summary(&mut t, 2, phone, &["payandgo.example"]),
         ];
-        let c = Classifier::new(&db).classify(&sums);
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::M2m));
         assert_eq!(c.class_of(2), Some(DeviceClass::Smart));
         assert!(!c.propagated_tacs.contains(&phone.value()));
@@ -364,13 +407,14 @@ mod tests {
     #[test]
     fn counts_and_shares_sum_to_one() {
         let db = tacdb();
+        let mut t = ApnTable::new();
         let sums = vec![
-            summary(1, tac_of(&db, "Gemalto"), &["smhp.centricaplc.com"]),
-            summary(2, phone_tac(&db), &["internet"]),
-            summary(3, feature_tac(&db), &[]),
-            summary(4, tac_of(&db, "Quectel"), &[]),
+            summary(&mut t, 1, tac_of(&db, "Gemalto"), &["smhp.centricaplc.com"]),
+            summary(&mut t, 2, phone_tac(&db), &["internet"]),
+            summary(&mut t, 3, feature_tac(&db), &[]),
+            summary(&mut t, 4, tac_of(&db, "Quectel"), &[]),
         ];
-        let c = Classifier::new(&db).classify(&sums);
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.classes.len(), 4);
         let total: f64 = c.shares().values().sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -382,17 +426,35 @@ mod tests {
         // §4.3: feat if GSMA says feature phone *or* it uses a consumer APN
         // without a major smartphone OS. An unknown TAC has no OS info.
         let db = tacdb();
+        let mut t = ApnTable::new();
         let unknown = Tac::new(99_000_000).unwrap();
-        let sums = vec![summary(1, unknown, &["internet"])];
-        let c = Classifier::new(&db).classify(&sums);
+        let sums = vec![summary(&mut t, 1, unknown, &["internet"])];
+        let c = Classifier::new(&db).classify(&sums, &t);
         assert_eq!(c.class_of(1), Some(DeviceClass::Feat));
     }
 
     #[test]
     fn empty_population() {
         let db = tacdb();
-        let c = Classifier::new(&db).classify(&[]);
+        let c = Classifier::new(&db).classify(&[], &ApnTable::new());
         assert!(c.classes.is_empty());
         assert_eq!(c.total_apns, 0);
+    }
+
+    #[test]
+    fn unobserved_table_entries_do_not_count() {
+        // The table may intern more strings than this population used
+        // (e.g. after merges); only observed symbols form the inventory.
+        let db = tacdb();
+        let mut t = ApnTable::new();
+        t.intern("fleet.scania.com");
+        let sums = vec![summary(&mut t, 1, phone_tac(&db), &["payandgo.example"])];
+        let c = Classifier::new(&db).classify(&sums, &t);
+        assert_eq!(c.total_apns, 1, "only the observed APN counts");
+        assert!(
+            c.validated_apns.is_empty(),
+            "unobserved scania not validated"
+        );
+        assert_eq!(c.class_of(1), Some(DeviceClass::Smart));
     }
 }

@@ -104,26 +104,50 @@ pub const CONSUMER_KEYWORDS: &[&str] = &[
     "mobile",
 ];
 
-/// Finds the first M2M keyword matching `apn_string` (any label substring,
-/// input need not be lowercase).
-pub fn match_m2m_keyword(apn_string: &str) -> Option<(&'static str, VerticalHint)> {
-    let lower = apn_string.to_ascii_lowercase();
-    // Longer keywords first so `centricaplc` wins over `centrica`, and
-    // specific names win over the generic `m2m`.
-    let mut sorted: Vec<&(&str, VerticalHint)> = M2M_KEYWORDS.iter().collect();
-    sorted.sort_by_key(|(k, _)| std::cmp::Reverse(k.len()));
-    for (kw, hint) in sorted {
-        if lower.contains(kw) {
-            return Some((kw, *hint));
-        }
+/// Allocation-free ASCII case-insensitive substring search: whether
+/// `haystack` contains `needle`, comparing bytes with
+/// [`u8::eq_ignore_ascii_case`]. `needle` is expected lowercase (all
+/// vocabulary entries are); no intermediate lowercased copy of the
+/// haystack is ever built — this is what keeps the per-distinct-APN
+/// classification scan allocation-free.
+pub fn contains_ignore_ascii_case(haystack: &str, needle: &str) -> bool {
+    let (h, n) = (haystack.as_bytes(), needle.as_bytes());
+    if n.is_empty() {
+        return true;
     }
-    None
+    if n.len() > h.len() {
+        return false;
+    }
+    h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
 }
 
-/// Whether `apn_string` matches a consumer keyword.
+/// `M2M_KEYWORDS` sorted longest-first, computed once. Longer keywords
+/// first so `centricaplc` wins over `centrica`, and specific names win
+/// over the generic `m2m`; ties keep vocabulary order (stable sort).
+fn m2m_keywords_by_len() -> &'static [(&'static str, VerticalHint)] {
+    static SORTED: std::sync::OnceLock<Vec<(&'static str, VerticalHint)>> =
+        std::sync::OnceLock::new();
+    SORTED.get_or_init(|| {
+        let mut sorted = M2M_KEYWORDS.to_vec();
+        sorted.sort_by_key(|(k, _)| std::cmp::Reverse(k.len()));
+        sorted
+    })
+}
+
+/// Finds the first M2M keyword matching `apn_string` (any label substring,
+/// input need not be lowercase). Allocation-free.
+pub fn match_m2m_keyword(apn_string: &str) -> Option<(&'static str, VerticalHint)> {
+    m2m_keywords_by_len()
+        .iter()
+        .find(|(kw, _)| contains_ignore_ascii_case(apn_string, kw))
+        .copied()
+}
+
+/// Whether `apn_string` matches a consumer keyword. Allocation-free.
 pub fn is_consumer_apn(apn_string: &str) -> bool {
-    let lower = apn_string.to_ascii_lowercase();
-    CONSUMER_KEYWORDS.iter().any(|kw| lower.contains(kw))
+    CONSUMER_KEYWORDS
+        .iter()
+        .any(|kw| contains_ignore_ascii_case(apn_string, kw))
 }
 
 #[cfg(test)]
@@ -194,5 +218,31 @@ mod tests {
     fn case_insensitive() {
         assert!(match_m2m_keyword("SCANIA.COM").is_some());
         assert!(is_consumer_apn("PAYANDGO"));
+    }
+
+    #[test]
+    fn ascii_search_matches_std_contains_on_lowercase() {
+        let cases = [
+            ("", "", true),
+            ("abc", "", true),
+            ("", "a", false),
+            ("a", "abc", false),
+            ("x.CentricaPLC.y", "centricaplc", true),
+            ("x.centrica.y", "centricaplc", false),
+            ("M2M", "m2m", true),
+            ("mm2m2m", "m2m", true),
+        ];
+        for (hay, needle, want) in cases {
+            assert_eq!(
+                contains_ignore_ascii_case(hay, needle),
+                want,
+                "{hay:?} contains {needle:?}"
+            );
+            assert_eq!(
+                hay.to_ascii_lowercase().contains(needle),
+                want,
+                "std reference for {hay:?}/{needle:?}"
+            );
+        }
     }
 }

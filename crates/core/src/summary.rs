@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wtr_model::ids::{Plmn, Tac};
+use wtr_model::intern::ApnSym;
 use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
 use wtr_probes::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
@@ -32,8 +33,10 @@ pub struct DeviceSummary {
     pub dominant_label: RoamingLabel,
     /// All labels observed.
     pub labels: BTreeSet<RoamingLabel>,
-    /// All APN strings observed.
-    pub apns: BTreeSet<String>,
+    /// All APNs observed, as symbols of the source catalog's
+    /// [`wtr_model::intern::ApnTable`] (pass that table alongside the
+    /// summaries to anything that needs the strings back).
+    pub apns: BTreeSet<ApnSym>,
     /// Radio-flags merged across days.
     pub radio_flags: RadioFlags,
     /// Total radio events.
@@ -156,7 +159,7 @@ fn fold_row(mut acc: Partial, row: &CatalogEntry) -> Partial {
     s.first_day = s.first_day.min(row.day.0);
     s.last_day = s.last_day.max(row.day.0);
     s.labels.insert(row.label);
-    s.apns.extend(row.apns.iter().cloned());
+    s.apns.extend(row.apns.iter().copied());
     s.radio_flags.merge(row.radio_flags);
     s.events += row.events;
     s.failed_events += row.failed_events;
@@ -256,6 +259,7 @@ mod tests {
 
     fn sample_catalog() -> DevicesCatalog {
         let mut cat = DevicesCatalog::new(22);
+        let sym = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
         for day in [0u32, 1, 2, 5] {
             let r = cat.row_mut(1, Day(day), plmn(), tac(), RoamingLabel::IH);
             r.events += 10;
@@ -263,8 +267,7 @@ mod tests {
             r.data_sessions += 2;
             r.bytes_up += 100;
             r.bytes_down += 50;
-            r.apns
-                .insert("smhp.centricaplc.com.mnc004.mcc204.gprs".into());
+            r.apns.insert(sym);
         }
         // Device 2: one home day, one abroad day (outbound).
         let r = cat.row_mut(2, Day(0), Plmn::of(234, 30), tac(), RoamingLabel::HH);

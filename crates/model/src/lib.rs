@@ -17,6 +17,9 @@
 //! * **APNs** ([`apn`]): the Access Point Name grammar
 //!   (`<network-id>.mnc<MNC>.mcc<MCC>.gprs`), keyword extraction used by the
 //!   classification pipeline.
+//! * **APN interning** ([`intern`]): deterministic [`intern::ApnSym`]
+//!   symbols + [`intern::ApnTable`], so catalog rows and the classifier
+//!   work with `Copy` keys instead of owned strings.
 //! * **TAC catalog** ([`tacdb`]): a GSMA-like device database mapping IMEI
 //!   Type Allocation Codes to vendor / model / OS / radio-band properties.
 //! * **Roaming labels** ([`roaming`]): the paper's `<X:Y>` six-label
@@ -34,6 +37,7 @@ pub mod country;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod intern;
 pub mod operators;
 pub mod rat;
 pub mod roaming;
@@ -45,6 +49,7 @@ pub use apn::Apn;
 pub use country::{Country, Region};
 pub use error::ParseError;
 pub use ids::{Imei, Imsi, Mcc, Mnc, Plmn, Tac};
+pub use intern::{ApnSym, ApnTable};
 pub use rat::{RadioFlags, Rat, RatSet};
 pub use roaming::{Presence, RoamingLabel, SimOrigin};
 pub use tacdb::{GsmaClass, TacDatabase, TacInfo};

@@ -107,6 +107,17 @@ impl RatSet {
         RatSet(rat.bit())
     }
 
+    /// The raw 4-bit representation (what the wire codecs store).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw bits; bits above the low 4 are masked
+    /// off so any byte decodes to a valid set.
+    pub const fn from_bits(bits: u8) -> Self {
+        RatSet(bits & 0b1111)
+    }
+
     /// Inserts a RAT.
     pub fn insert(&mut self, rat: Rat) {
         self.0 |= rat.bit();

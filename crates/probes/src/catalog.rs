@@ -18,6 +18,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use wtr_model::ids::{Plmn, Tac};
+use wtr_model::intern::{ApnSym, ApnTable};
 use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
 use wtr_model::time::Day;
@@ -78,6 +79,24 @@ impl MobilityAccum {
         let klon = KM_PER_DEG * c.lat.to_radians().cos();
         Some((var_lat * klat * klat + var_lon * klon * klon).sqrt())
     }
+
+    /// The raw accumulator state `[w, lat_w, lon_w, lat2_w, lon2_w]` —
+    /// what the columnar `WTRCAT` codec stores.
+    pub fn to_parts(&self) -> [f64; 5] {
+        [self.w, self.lat_w, self.lon_w, self.lat2_w, self.lon2_w]
+    }
+
+    /// Rebuilds an accumulator from its raw state (inverse of
+    /// [`MobilityAccum::to_parts`]).
+    pub fn from_parts(parts: [f64; 5]) -> Self {
+        MobilityAccum {
+            w: parts[0],
+            lat_w: parts[1],
+            lon_w: parts[2],
+            lat2_w: parts[3],
+            lon2_w: parts[4],
+        }
+    }
 }
 
 /// One (device, day) row of the devices-catalog.
@@ -111,8 +130,10 @@ pub struct CatalogEntry {
     pub bytes_down: u64,
     /// Visited PLMNs seen this day (packed keys, sorted).
     pub visited: BTreeSet<u32>,
-    /// APN strings seen this day (the classifier's raw material).
-    pub apns: BTreeSet<String>,
+    /// APNs seen this day (the classifier's raw material), as interned
+    /// symbols resolved through the owning catalog's [`ApnTable`]. `Copy`
+    /// keys: merging rows copies 4-byte symbols, never clones strings.
+    pub apns: BTreeSet<ApnSym>,
     /// Radio-flags: RATs successfully used, per plane.
     pub radio_flags: RadioFlags,
     /// Raw sector ids used this day (distinct set).
@@ -204,7 +225,7 @@ impl CatalogEntry {
         self.bytes_up += other.bytes_up;
         self.bytes_down += other.bytes_down;
         self.visited.extend(other.visited.iter().copied());
-        self.apns.extend(other.apns.iter().cloned());
+        self.apns.extend(other.apns.iter().copied());
         self.radio_flags.merge(other.radio_flags);
         self.sector_set.extend(other.sector_set.iter().copied());
         for (h, n) in other.hourly.iter().enumerate() {
@@ -221,10 +242,15 @@ impl CatalogEntry {
 /// Rows live in a `BTreeMap` keyed by (user, day), so iteration order —
 /// and everything downstream of it: summaries, reports, serialized
 /// exports — is deterministic by construction.
+///
+/// The catalog also owns the [`ApnTable`] its rows' [`ApnSym`] sets are
+/// resolved through: every distinct APN string is stored exactly once
+/// here, no matter how many (device, day) rows carry it.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DevicesCatalog {
     rows: BTreeMap<(u64, u32), CatalogEntry>,
     window_days: u32,
+    apns: ApnTable,
 }
 
 impl DevicesCatalog {
@@ -233,12 +259,32 @@ impl DevicesCatalog {
         DevicesCatalog {
             rows: BTreeMap::new(),
             window_days,
+            apns: ApnTable::new(),
         }
     }
 
     /// Length of the observation window in days.
     pub fn window_days(&self) -> u32 {
         self.window_days
+    }
+
+    /// Interns an APN string into this catalog's table, returning the
+    /// symbol to store in a row's `apns` set.
+    pub fn intern_apn(&mut self, apn: &str) -> ApnSym {
+        self.apns.intern(apn)
+    }
+
+    /// The catalog's APN intern table (what row symbols resolve through).
+    pub fn apn_table(&self) -> &ApnTable {
+        &self.apns
+    }
+
+    /// Resolves one of this catalog's APN symbols back to its string.
+    ///
+    /// # Panics
+    /// If `sym` was not issued by this catalog's table.
+    pub fn apn_str(&self, sym: ApnSym) -> &str {
+        self.apns.resolve(sym)
     }
 
     /// Gets or creates the row for (user, day); identity fields are set on
@@ -255,6 +301,17 @@ impl DevicesCatalog {
         self.rows
             .entry((user, day.0))
             .or_insert_with(|| CatalogEntry::new(user, day, sim_plmn, tac, label))
+    }
+
+    /// Inserts a fully-built row (the wire-decode path). A row for an
+    /// existing (user, day) key is folded in with [`CatalogEntry::absorb`].
+    pub fn insert_entry(&mut self, entry: CatalogEntry) {
+        match self.rows.entry((entry.user, entry.day.0)) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(entry);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().absorb(&entry),
+        }
     }
 
     /// Row lookup.
@@ -279,14 +336,23 @@ impl DevicesCatalog {
 
     /// Folds another catalog into this one: rows for the same
     /// (device, day) are combined with [`CatalogEntry::absorb`] (so
-    /// `self`'s identity fields win), new rows are inserted.
+    /// `self`'s identity fields win), new rows are inserted. `other`'s APN
+    /// symbols are remapped through [`ApnTable::absorb`] first, so the
+    /// merged table keeps first-occurrence symbol assignment — partial
+    /// catalogs built from consecutive chunks of an event stream, merged
+    /// in chunk order, reproduce the serial fold (and its symbol ids)
+    /// exactly. This is the reduce step of parallel ingestion.
     ///
-    /// This is the reduce step of parallel ingestion: partial catalogs
-    /// built from consecutive chunks of an event stream, merged in chunk
-    /// order, reproduce the serial fold exactly.
-    pub fn merge(&mut self, other: DevicesCatalog) {
+    /// Returns the symbol remap (`remap[other_sym.index()]` = symbol in
+    /// `self`), so callers holding records keyed by `other`'s symbols —
+    /// e.g. retained raw xDRs — can translate them too.
+    pub fn merge(&mut self, other: DevicesCatalog) -> Vec<ApnSym> {
         self.window_days = self.window_days.max(other.window_days);
-        for (key, entry) in other.rows {
+        let remap = self.apns.absorb(&other.apns);
+        for (key, mut entry) in other.rows {
+            if !entry.apns.is_empty() {
+                entry.apns = entry.apns.iter().map(|s| remap[s.index()]).collect();
+            }
             match self.rows.entry(key) {
                 std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert(entry);
@@ -296,6 +362,7 @@ impl DevicesCatalog {
                 }
             }
         }
+        remap
     }
 
     /// Number of distinct devices seen across the window.

@@ -12,11 +12,15 @@
 //! * **catalog** — one [`CatalogEntry`] per line, preceded by a single
 //!   header line carrying the window length.
 
-use crate::catalog::{CatalogEntry, DevicesCatalog};
+use crate::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
 use crate::records::M2mTransaction;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufRead, Write};
+use wtr_model::ids::{Plmn, Tac};
+use wtr_model::rat::RadioFlags;
+use wtr_model::roaming::RoamingLabel;
+use wtr_model::time::Day;
 use wtr_sim::par;
 
 /// Header line of a catalog JSONL stream.
@@ -72,9 +76,10 @@ pub fn write_transactions<W: Write>(
     mut out: W,
     transactions: &[M2mTransaction],
 ) -> Result<(), IoError> {
-    for t in transactions {
+    for (idx, t) in transactions.iter().enumerate() {
         serde_json::to_writer(&mut out, t).map_err(|e| IoError::Parse {
-            line: 0,
+            // 1-based line the failed record would have landed on.
+            line: idx + 1,
             message: e.to_string(),
         })?;
         out.write_all(b"\n")?;
@@ -116,6 +121,99 @@ pub fn read_transactions<R: BufRead>(input: R) -> Result<Vec<M2mTransaction>, Io
     parse_lines(&numbered_lines(input)?)
 }
 
+/// The JSONL wire form of one catalog row: identical field names and
+/// order to [`CatalogEntry`], with `apns` spelled out as the sorted list
+/// of strings (resolved through the catalog's intern table). This keeps
+/// the line format — byte for byte — what it was before symbols existed,
+/// while the in-memory entry stores compact `ApnSym` keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CatalogRowWire {
+    user: u64,
+    day: Day,
+    sim_plmn: Plmn,
+    tac: Tac,
+    label: RoamingLabel,
+    events: u64,
+    failed_events: u64,
+    calls: u64,
+    sms: u64,
+    call_secs: u64,
+    data_sessions: u64,
+    bytes_up: u64,
+    bytes_down: u64,
+    visited: BTreeSet<u32>,
+    apns: BTreeSet<String>,
+    radio_flags: RadioFlags,
+    sector_set: BTreeSet<u64>,
+    hourly: [u32; 24],
+    in_designated_range: bool,
+    in_published_m2m_range: bool,
+    mobility: MobilityAccum,
+}
+
+impl CatalogRowWire {
+    /// Resolves a row's symbols against `catalog`'s table.
+    fn from_entry(entry: &CatalogEntry, catalog: &DevicesCatalog) -> Self {
+        CatalogRowWire {
+            user: entry.user,
+            day: entry.day,
+            sim_plmn: entry.sim_plmn,
+            tac: entry.tac,
+            label: entry.label,
+            events: entry.events,
+            failed_events: entry.failed_events,
+            calls: entry.calls,
+            sms: entry.sms,
+            call_secs: entry.call_secs,
+            data_sessions: entry.data_sessions,
+            bytes_up: entry.bytes_up,
+            bytes_down: entry.bytes_down,
+            visited: entry.visited.clone(),
+            apns: entry
+                .apns
+                .iter()
+                .map(|&sym| catalog.apn_str(sym).to_owned())
+                .collect(),
+            radio_flags: entry.radio_flags,
+            sector_set: entry.sector_set.clone(),
+            hourly: entry.hourly,
+            in_designated_range: entry.in_designated_range,
+            in_published_m2m_range: entry.in_published_m2m_range,
+            mobility: entry.mobility,
+        }
+    }
+
+    /// Interns this wire row's APN strings into `catalog` and installs
+    /// the row.
+    fn install(self, catalog: &mut DevicesCatalog) {
+        let apns: BTreeSet<_> = self.apns.iter().map(|a| catalog.intern_apn(a)).collect();
+        let row = catalog.row_mut(self.user, self.day, self.sim_plmn, self.tac, self.label);
+        *row = CatalogEntry {
+            user: self.user,
+            day: self.day,
+            sim_plmn: self.sim_plmn,
+            tac: self.tac,
+            label: self.label,
+            events: self.events,
+            failed_events: self.failed_events,
+            calls: self.calls,
+            sms: self.sms,
+            call_secs: self.call_secs,
+            data_sessions: self.data_sessions,
+            bytes_up: self.bytes_up,
+            bytes_down: self.bytes_down,
+            visited: self.visited,
+            apns,
+            radio_flags: self.radio_flags,
+            sector_set: self.sector_set,
+            hourly: self.hourly,
+            in_designated_range: self.in_designated_range,
+            in_published_m2m_range: self.in_published_m2m_range,
+            mobility: self.mobility,
+        };
+    }
+}
+
 /// Writes a devices-catalog as JSONL: a header line, then one row per line
 /// in a stable (user, day) order so exports are diffable.
 pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(), IoError> {
@@ -131,9 +229,11 @@ pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(
     out.write_all(b"\n")?;
     let mut rows: Vec<&CatalogEntry> = catalog.iter().collect();
     rows.sort_by_key(|r| (r.user, r.day));
-    for row in rows {
-        serde_json::to_writer(&mut out, row).map_err(|e| IoError::Parse {
-            line: 0,
+    for (idx, row) in rows.into_iter().enumerate() {
+        let wire = CatalogRowWire::from_entry(row, catalog);
+        serde_json::to_writer(&mut out, &wire).map_err(|e| IoError::Parse {
+            // 1-based: the header is line 1, row `idx` lands on idx + 2.
+            line: idx + 2,
             message: e.to_string(),
         })?;
         out.write_all(b"\n")?;
@@ -141,7 +241,10 @@ pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(
     Ok(())
 }
 
-/// Reads a devices-catalog written by [`write_catalog`].
+/// Reads a devices-catalog written by [`write_catalog`]. APN strings are
+/// interned in row order (rows are parsed in parallel but installed in
+/// input order), so the rebuilt catalog — table included — is identical
+/// at any thread count.
 pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
     let mut lines = input.lines().enumerate();
     let (_, header_line) = lines
@@ -164,18 +267,11 @@ pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
         }
         numbered.push((idx + 1, line));
     }
-    let entries: Vec<CatalogEntry> = parse_lines(&numbered)?;
-    let count = entries.len();
+    let wires: Vec<CatalogRowWire> = parse_lines(&numbered)?;
+    let count = wires.len();
     let mut catalog = DevicesCatalog::new(header.window_days);
-    for entry in entries {
-        let row = catalog.row_mut(
-            entry.user,
-            entry.day,
-            entry.sim_plmn,
-            entry.tac,
-            entry.label,
-        );
-        *row = entry;
+    for wire in wires {
+        wire.install(&mut catalog);
     }
     if count != header.rows {
         return Err(IoError::BadHeader(format!(
@@ -184,6 +280,34 @@ pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
         )));
     }
     Ok(catalog)
+}
+
+/// Writes a devices-catalog in the columnar binary `WTRCAT` format
+/// ([`crate::wire::encode_catalog`]) — typically 5–10× smaller than the
+/// JSONL export and decoded in parallel row-group chunks.
+pub fn write_catalog_bin<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(), IoError> {
+    let bytes = crate::wire::encode_catalog(catalog);
+    out.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a `WTRCAT` catalog written by [`write_catalog_bin`].
+pub fn read_catalog_bin<R: io::Read>(mut input: R) -> Result<DevicesCatalog, IoError> {
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    crate::wire::decode_catalog(&bytes).map_err(|e| IoError::BadHeader(e.to_string()))
+}
+
+/// Reads a devices-catalog in either format, sniffing the `WTRCAT` magic:
+/// binary files start with it, JSONL files start with `{`.
+pub fn read_catalog_auto<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoError> {
+    let head = input.fill_buf()?;
+    let magic = crate::wire::CAT_MAGIC;
+    if head.len() >= magic.len() && &head[..magic.len()] == magic {
+        read_catalog_bin(input)
+    } else {
+        read_catalog(input)
+    }
 }
 
 /// One line of a ground-truth JSONL stream: the anonymized device ID and
@@ -207,9 +331,9 @@ pub fn write_truth<W: Write>(
         user: *user,
         vertical: *vertical,
     });
-    for line in lines {
+    for (idx, line) in lines.enumerate() {
         serde_json::to_writer(&mut out, &line).map_err(|e| IoError::Parse {
-            line: 0,
+            line: idx + 1,
             message: e.to_string(),
         })?;
         out.write_all(b"\n")?;
@@ -234,6 +358,7 @@ mod tests {
 
     fn sample_catalog() -> DevicesCatalog {
         let mut cat = DevicesCatalog::new(22);
+        let apn = cat.intern_apn("smhp.centricaplc.com");
         for (user, day) in [(1u64, 0u32), (1, 3), (2, 1)] {
             let row = cat.row_mut(
                 user,
@@ -244,7 +369,7 @@ mod tests {
             );
             row.events = 10 + user;
             row.bytes_up = 100 * user;
-            row.apns.insert("smhp.centricaplc.com".into());
+            row.apns.insert(apn);
             row.hourly[13] = 4;
         }
         cat
@@ -313,7 +438,10 @@ mod tests {
         let row = back.get(1, Day(3)).unwrap();
         assert_eq!(row.events, 11);
         assert_eq!(row.hourly[13], 4);
-        assert!(row.apns.contains("smhp.centricaplc.com"));
+        assert!(row
+            .apns
+            .iter()
+            .any(|&sym| back.apn_str(sym) == "smhp.centricaplc.com"));
     }
 
     #[test]
@@ -344,6 +472,45 @@ mod tests {
         let mut buf2 = Vec::new();
         write_truth(&mut buf2, &truth).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn catalog_auto_sniffs_both_formats() {
+        let cat = sample_catalog();
+        let mut jsonl = Vec::new();
+        write_catalog(&mut jsonl, &cat).unwrap();
+        let mut bin = Vec::new();
+        write_catalog_bin(&mut bin, &cat).unwrap();
+        assert!(bin.len() < jsonl.len());
+        for bytes in [&jsonl, &bin] {
+            let back = read_catalog_auto(&bytes[..]).unwrap();
+            assert_eq!(back.len(), cat.len());
+            let row = back.get(1, Day(3)).unwrap();
+            assert!(row
+                .apns
+                .iter()
+                .any(|&sym| back.apn_str(sym) == "smhp.centricaplc.com"));
+        }
+    }
+
+    #[test]
+    fn jsonl_and_wtrcat_reimports_are_equivalent() {
+        // Satellite: JSONL ↔ columnar roundtrip equivalence. Importing
+        // either serialization and re-exporting as JSONL must be
+        // byte-identical — same rows, same resolved APN strings.
+        let cat = sample_catalog();
+        let mut jsonl = Vec::new();
+        write_catalog(&mut jsonl, &cat).unwrap();
+        let mut bin = Vec::new();
+        write_catalog_bin(&mut bin, &cat).unwrap();
+        let from_jsonl = read_catalog(&jsonl[..]).unwrap();
+        let from_bin = read_catalog_bin(&bin[..]).unwrap();
+        let mut a = Vec::new();
+        write_catalog(&mut a, &from_jsonl).unwrap();
+        let mut b = Vec::new();
+        write_catalog(&mut b, &from_bin).unwrap();
+        assert_eq!(a, jsonl, "JSONL reimport re-exports identically");
+        assert_eq!(b, jsonl, "WTRCAT reimport re-exports identically");
     }
 
     #[test]

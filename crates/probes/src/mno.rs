@@ -200,10 +200,14 @@ impl MnoProbe {
     /// preserved, raw records append in stream order, element loads and
     /// counters add.
     fn absorb(&mut self, other: MnoProbe) {
-        self.catalog.merge(other.catalog);
+        let apn_remap = self.catalog.merge(other.catalog);
         self.raw_radio.extend(other.raw_radio);
         self.raw_cdrs.extend(other.raw_cdrs);
-        self.raw_xdrs.extend(other.raw_xdrs);
+        self.raw_xdrs
+            .extend(other.raw_xdrs.into_iter().map(|mut x| {
+                x.apn = apn_remap[x.apn.index()];
+                x
+            }));
         for (mine, theirs) in self.element_load.iter_mut().zip(other.element_load) {
             mine.merge(theirs);
         }
@@ -360,6 +364,7 @@ impl EventSink for MnoProbe {
                 }
                 let designated = self.designated_ranges.iter().any(|r| r.contains(d.imsi));
                 let published = self.published_m2m_ranges.iter().any(|r| r.contains(d.imsi));
+                let apn_sym = self.catalog.intern_apn(&d.apn.full());
                 let row = self.catalog.row_mut(user, day, d.imsi.plmn(), tac, label);
                 row.in_designated_range |= designated;
                 row.in_published_m2m_range |= published;
@@ -367,7 +372,7 @@ impl EventSink for MnoProbe {
                 row.data_sessions += 1;
                 row.bytes_up += d.bytes_up;
                 row.bytes_down += d.bytes_down;
-                row.apns.insert(d.apn.full());
+                row.apns.insert(apn_sym);
                 row.radio_flags.record(d.rat, true, false);
                 row.visited.insert(d.visited.packed());
                 if d.visited == self.studied {
@@ -386,7 +391,7 @@ impl EventSink for MnoProbe {
                         duration_secs: d.duration_secs,
                         bytes_up: d.bytes_up,
                         bytes_down: d.bytes_down,
-                        apn: d.apn.full(),
+                        apn: apn_sym,
                     });
                 }
             }
@@ -488,7 +493,10 @@ mod tests {
         assert_eq!(row.label, RoamingLabel::IH);
         assert_eq!(row.events, 1);
         assert_eq!(row.data_sessions, 1);
-        assert!(row.apns.iter().any(|a| a.contains("centricaplc")));
+        assert!(row
+            .apns
+            .iter()
+            .any(|&a| p.catalog.apn_str(a).contains("centricaplc")));
         assert!(row.radio_flags.data.contains(Rat::G2));
         assert_eq!(row.sectors(), 1);
         assert!(row.mobility.gyration_km().unwrap() < 1e-6);

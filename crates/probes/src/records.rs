@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wtr_model::ids::{Plmn, Tac};
+use wtr_model::intern::ApnSym;
 use wtr_model::rat::Rat;
 use wtr_model::time::SimTime;
 use wtr_radio::sector::SectorId;
@@ -134,7 +135,7 @@ pub struct Cdr {
 
 /// One eXtended Detail Record — aggregate data usage (§4.1). "Data records
 /// also report APN strings."
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Xdr {
     /// Anonymized user ID.
     pub user: u64,
@@ -154,8 +155,10 @@ pub struct Xdr {
     pub bytes_up: u64,
     /// Downlink bytes.
     pub bytes_down: u64,
-    /// Full APN string of the session.
-    pub apn: String,
+    /// Interned APN of the session, resolved through the producing
+    /// probe's catalog [`wtr_model::intern::ApnTable`]. The record is
+    /// fully `Copy`: APN strings live once in the table, not per xDR.
+    pub apn: ApnSym,
 }
 
 impl Xdr {
@@ -205,7 +208,7 @@ mod tests {
             duration_secs: 30,
             bytes_up: 1_700,
             bytes_down: 300,
-            apn: "smhp.centricaplc.com.mnc004.mcc204.gprs".into(),
+            apn: ApnSym::from_raw(0),
         };
         assert_eq!(x.bytes_total(), 2_000);
     }

@@ -9,15 +9,26 @@
 //! visited_plmn:u32 | message:u8 | result:u8`.
 //! PLMNs use [`Plmn::packed`]; the decoder reverses the packing.
 
+use crate::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
 use crate::records::{M2mMessageType, M2mTransaction};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeSet;
 use wtr_model::error::ParseError;
-use wtr_model::ids::{Mcc, Mnc, Plmn};
-use wtr_model::time::SimTime;
+use wtr_model::ids::{Mcc, Mnc, Plmn, Tac};
+use wtr_model::intern::ApnSym;
+use wtr_model::rat::{RadioFlags, RatSet};
+use wtr_model::roaming::RoamingLabel;
+use wtr_model::time::{Day, SimTime};
 use wtr_sim::events::ProcedureResult;
 
 /// Magic bytes opening a transaction log.
 pub const MAGIC: &[u8; 8] = b"WTRM2M\x01\x00";
+
+/// Magic bytes opening a columnar devices-catalog (`WTRCAT`) file.
+pub const CAT_MAGIC: &[u8; 8] = b"WTRCAT\x01\x00";
+
+/// Rows per `WTRCAT` row-group chunk — the unit of parallel decoding.
+pub const CAT_CHUNK_ROWS: usize = 4096;
 
 fn encode_plmn(p: Plmn) -> u32 {
     p.packed()
@@ -154,6 +165,412 @@ pub fn decode_log(mut buf: impl Buf) -> Result<Vec<M2mTransaction>, ParseError> 
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// WTRCAT: columnar binary devices-catalog codec.
+//
+// Layout:
+//
+// ```text
+// magic "WTRCAT\x01\x00"
+// window_days: u32 LE
+// rows:        u64 LE
+// chunks:      u32 LE
+// apn table:   u32 LE count, then per string u16 LE length + UTF-8 bytes,
+//              strictly ascending (canonical order; symbols = sorted rank)
+// per chunk:   byte_len u32 LE | row_count u32 LE | row bytes
+// ```
+//
+// Rows use LEB128 varints for counters and id columns, one byte per
+// enum/bitset, and raw little-endian f64 for the mobility accumulator
+// (present only when non-default). Sorted sets (visited PLMN keys, APN
+// symbols, sector ids) are delta-encoded. Because the table is stored in
+// canonical (sorted) order and rows are remapped to it at encode time, the
+// file bytes depend only on catalog *content* — never on ingest order or
+// thread count.
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, ParseError> {
+    let mut out: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if buf.is_empty() {
+            return Err(ParseError::BadLength {
+                what: "varint",
+                expected: "continuation byte",
+                found: 0,
+            });
+        }
+        let byte = buf[0];
+        *buf = &buf[1..];
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+    }
+    Err(ParseError::OutOfRange {
+        what: "varint",
+        allowed: "at most 10 bytes",
+    })
+}
+
+fn encode_label(label: RoamingLabel) -> u8 {
+    RoamingLabel::ALL
+        .iter()
+        .position(|l| *l == label)
+        .expect("RoamingLabel::ALL is exhaustive") as u8
+}
+
+fn decode_label(b: u8) -> Result<RoamingLabel, ParseError> {
+    RoamingLabel::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(ParseError::OutOfRange {
+            what: "roaming-label byte",
+            allowed: "0..=5",
+        })
+}
+
+/// Writes a sorted ascending `u64` sequence as count + delta varints.
+fn put_sorted_set(buf: &mut BytesMut, values: impl ExactSizeIterator<Item = u64>) {
+    put_varint(buf, values.len() as u64);
+    let mut prev = 0u64;
+    for v in values {
+        debug_assert!(v >= prev);
+        put_varint(buf, v - prev);
+        prev = v;
+    }
+}
+
+fn get_sorted_set(buf: &mut &[u8], what: &'static str) -> Result<Vec<u64>, ParseError> {
+    let n = get_varint(buf)? as usize;
+    if n > buf.len() {
+        // Each element takes ≥ 1 byte; reject wild counts before allocating.
+        return Err(ParseError::BadLength {
+            what,
+            expected: "count consistent with remaining bytes",
+            found: buf.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev = prev
+            .checked_add(get_varint(buf)?)
+            .ok_or(ParseError::OutOfRange {
+                what,
+                allowed: "deltas summing below 2^64",
+            })?;
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+/// Encodes one row; `remap[sym.index()]` translates the catalog's symbols
+/// to canonical (sorted-table) symbols.
+fn encode_row(buf: &mut BytesMut, row: &CatalogEntry, remap: &[ApnSym]) {
+    put_varint(buf, row.user);
+    put_varint(buf, u64::from(row.day.0));
+    put_varint(buf, u64::from(row.sim_plmn.packed()));
+    put_varint(buf, u64::from(row.tac.value()));
+    buf.put_u8(encode_label(row.label));
+    let mobility_present = row.mobility != MobilityAccum::default();
+    let flags = u8::from(row.in_designated_range)
+        | u8::from(row.in_published_m2m_range) << 1
+        | u8::from(mobility_present) << 2;
+    buf.put_u8(flags);
+    for counter in [
+        row.events,
+        row.failed_events,
+        row.calls,
+        row.sms,
+        row.call_secs,
+        row.data_sessions,
+        row.bytes_up,
+        row.bytes_down,
+    ] {
+        put_varint(buf, counter);
+    }
+    buf.put_u8(row.radio_flags.any.bits() << 4 | row.radio_flags.data.bits());
+    buf.put_u8(row.radio_flags.voice.bits());
+    put_sorted_set(buf, row.visited.iter().map(|&k| u64::from(k)));
+    let mut apns: Vec<u64> = row
+        .apns
+        .iter()
+        .map(|s| u64::from(remap[s.index()].raw()))
+        .collect();
+    apns.sort_unstable();
+    put_sorted_set(buf, apns.into_iter());
+    put_sorted_set(buf, row.sector_set.iter().copied());
+    for h in row.hourly {
+        put_varint(buf, u64::from(h));
+    }
+    if mobility_present {
+        for part in row.mobility.to_parts() {
+            buf.put_f64_le(part);
+        }
+    }
+}
+
+fn narrow_u32(v: u64, what: &'static str) -> Result<u32, ParseError> {
+    u32::try_from(v).map_err(|_| ParseError::OutOfRange {
+        what,
+        allowed: "0..=u32::MAX",
+    })
+}
+
+/// Decodes one row. `table_len` bounds the valid APN symbol range.
+fn decode_row(buf: &mut &[u8], table_len: usize) -> Result<CatalogEntry, ParseError> {
+    let user = get_varint(buf)?;
+    let day = Day(narrow_u32(get_varint(buf)?, "day")?);
+    let sim_plmn = decode_plmn(narrow_u32(get_varint(buf)?, "PLMN key")?)?;
+    let tac = Tac::new(narrow_u32(get_varint(buf)?, "TAC")?)?;
+    if buf.len() < 2 {
+        return Err(ParseError::BadLength {
+            what: "catalog row",
+            expected: "label and flags bytes",
+            found: buf.len(),
+        });
+    }
+    let label = decode_label(buf[0])?;
+    let flags = buf[1];
+    *buf = &buf[2..];
+    if flags & !0b111 != 0 {
+        return Err(ParseError::OutOfRange {
+            what: "row flags byte",
+            allowed: "bits 0..=2",
+        });
+    }
+    let mut counters = [0u64; 8];
+    for c in &mut counters {
+        *c = get_varint(buf)?;
+    }
+    if buf.len() < 2 {
+        return Err(ParseError::BadLength {
+            what: "catalog row",
+            expected: "radio-flags bytes",
+            found: buf.len(),
+        });
+    }
+    let radio_flags = RadioFlags {
+        any: RatSet::from_bits(buf[0] >> 4),
+        data: RatSet::from_bits(buf[0] & 0b1111),
+        voice: RatSet::from_bits(buf[1]),
+    };
+    *buf = &buf[2..];
+    let visited: BTreeSet<u32> = get_sorted_set(buf, "visited-PLMN set")?
+        .into_iter()
+        .map(|v| narrow_u32(v, "visited-PLMN key"))
+        .collect::<Result<_, _>>()?;
+    let mut apns = BTreeSet::new();
+    for raw in get_sorted_set(buf, "APN symbol set")? {
+        let raw = narrow_u32(raw, "APN symbol")?;
+        if raw as usize >= table_len {
+            return Err(ParseError::OutOfRange {
+                what: "APN symbol",
+                allowed: "below the file's table length",
+            });
+        }
+        apns.insert(ApnSym::from_raw(raw));
+    }
+    let sector_set: BTreeSet<u64> = get_sorted_set(buf, "sector set")?.into_iter().collect();
+    let mut hourly = [0u32; 24];
+    for h in &mut hourly {
+        *h = narrow_u32(get_varint(buf)?, "hourly counter")?;
+    }
+    let mobility = if flags & 0b100 != 0 {
+        if buf.len() < 40 {
+            return Err(ParseError::BadLength {
+                what: "catalog row",
+                expected: "40 mobility bytes",
+                found: buf.len(),
+            });
+        }
+        let mut parts = [0f64; 5];
+        for p in &mut parts {
+            *p = f64::from_le_bytes(buf[..8].try_into().expect("length checked"));
+            *buf = &buf[8..];
+        }
+        MobilityAccum::from_parts(parts)
+    } else {
+        MobilityAccum::default()
+    };
+    Ok(CatalogEntry {
+        user,
+        day,
+        sim_plmn,
+        tac,
+        label,
+        events: counters[0],
+        failed_events: counters[1],
+        calls: counters[2],
+        sms: counters[3],
+        call_secs: counters[4],
+        data_sessions: counters[5],
+        bytes_up: counters[6],
+        bytes_down: counters[7],
+        visited,
+        apns,
+        radio_flags,
+        sector_set,
+        hourly,
+        in_designated_range: flags & 0b001 != 0,
+        in_published_m2m_range: flags & 0b010 != 0,
+        mobility,
+    })
+}
+
+/// Encodes a devices-catalog into the columnar `WTRCAT` format.
+///
+/// The APN table is written in canonical (sorted) order and row symbols
+/// are remapped to it, so two catalogs with equal content produce equal
+/// bytes regardless of the order their APNs were first interned — the
+/// serialized form is independent of ingest chunking and thread count.
+pub fn encode_catalog(catalog: &DevicesCatalog) -> Bytes {
+    let (table, remap) = catalog.apn_table().canonicalized();
+    let rows: Vec<&CatalogEntry> = catalog.iter().collect();
+    let chunk_count = rows.len().div_ceil(CAT_CHUNK_ROWS);
+    let mut buf = BytesMut::with_capacity(64 + rows.len() * 64);
+    buf.put_slice(CAT_MAGIC);
+    buf.put_u32_le(catalog.window_days());
+    buf.put_u64_le(rows.len() as u64);
+    buf.put_u32_le(chunk_count as u32);
+    buf.put_u32_le(table.len() as u32);
+    for s in table.strings() {
+        debug_assert!(s.len() <= usize::from(u16::MAX));
+        buf.put_u16_le(s.len() as u16);
+        buf.put_slice(s.as_bytes());
+    }
+    let mut chunk = BytesMut::new();
+    for group in rows.chunks(CAT_CHUNK_ROWS.max(1)) {
+        chunk.clear();
+        for row in group {
+            encode_row(&mut chunk, row, &remap);
+        }
+        buf.put_u32_le(chunk.len() as u32);
+        buf.put_u32_le(group.len() as u32);
+        buf.put_slice(&chunk);
+    }
+    buf.freeze()
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], ParseError> {
+    if buf.len() < n {
+        return Err(ParseError::BadLength {
+            what,
+            expected: "more bytes than remain",
+            found: buf.len(),
+        });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u32_le(buf: &mut &[u8], what: &'static str) -> Result<u32, ParseError> {
+    Ok(u32::from_le_bytes(
+        take(buf, 4, what)?.try_into().expect("length checked"),
+    ))
+}
+
+/// Decodes a `WTRCAT` catalog produced by [`encode_catalog`].
+///
+/// Row-group chunks are independent byte ranges, so they are decoded on
+/// [`wtr_sim::par`] workers and reassembled in file order: the resulting
+/// catalog — including its APN symbol assignment, which comes from the
+/// file's canonical table — is identical at any worker count.
+pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
+    let mut buf = bytes;
+    let magic = take(&mut buf, CAT_MAGIC.len(), "catalog header")?;
+    if magic != CAT_MAGIC {
+        return Err(ParseError::BadApn {
+            reason: "bad WTRCAT magic",
+        });
+    }
+    let window_days = get_u32_le(&mut buf, "window_days")?;
+    let row_count = u64::from_le_bytes(
+        take(&mut buf, 8, "row count")?
+            .try_into()
+            .expect("length checked"),
+    );
+    let chunk_count = get_u32_le(&mut buf, "chunk count")? as usize;
+    let table_len = get_u32_le(&mut buf, "APN table length")? as usize;
+    let mut catalog = DevicesCatalog::new(window_days);
+    let mut prev: Option<&str> = None;
+    for _ in 0..table_len {
+        let len = u16::from_le_bytes(
+            take(&mut buf, 2, "APN string length")?
+                .try_into()
+                .expect("length checked"),
+        ) as usize;
+        let raw = take(&mut buf, len, "APN string bytes")?;
+        let s = std::str::from_utf8(raw).map_err(|_| ParseError::BadApn {
+            reason: "APN table entry is not UTF-8",
+        })?;
+        if prev.is_some_and(|p| p >= s) {
+            return Err(ParseError::BadApn {
+                reason: "APN table not strictly ascending",
+            });
+        }
+        catalog.intern_apn(s);
+        prev = Some(s);
+    }
+    // Slice out the chunks serially (cheap length-prefix walk), then decode
+    // the row bytes in parallel.
+    let mut chunks: Vec<(&[u8], usize)> = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        let byte_len = get_u32_le(&mut buf, "chunk byte length")? as usize;
+        let rows = get_u32_le(&mut buf, "chunk row count")? as usize;
+        chunks.push((take(&mut buf, byte_len, "chunk body")?, rows));
+    }
+    if !buf.is_empty() {
+        return Err(ParseError::BadLength {
+            what: "catalog trailer",
+            expected: "no bytes after the final chunk",
+            found: buf.len(),
+        });
+    }
+    let decoded: Vec<Result<Vec<CatalogEntry>, ParseError>> =
+        wtr_sim::par::par_map(&chunks, |&(mut body, rows)| {
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                out.push(decode_row(&mut body, table_len)?);
+            }
+            if !body.is_empty() {
+                return Err(ParseError::BadLength {
+                    what: "chunk body",
+                    expected: "no bytes after the final row",
+                    found: body.len(),
+                });
+            }
+            Ok(out)
+        });
+    let mut total = 0u64;
+    for chunk in decoded {
+        for row in chunk? {
+            total += 1;
+            catalog.insert_entry(row);
+        }
+    }
+    if total != row_count {
+        return Err(ParseError::BadLength {
+            what: "catalog body",
+            expected: "header row count",
+            found: total as usize,
+        });
+    }
+    Ok(catalog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +663,180 @@ mod tests {
     #[test]
     fn record_size_is_26() {
         assert_eq!(RECORD_SIZE, 26);
+    }
+
+    // --- WTRCAT ---
+
+    fn sample_catalog(devices: u64, days: u32) -> DevicesCatalog {
+        use wtr_radio::geo::GeoPoint;
+        let mut cat = DevicesCatalog::new(days);
+        let tac = Tac::new(35_000_000).unwrap();
+        let apns = [
+            "smhp.centricaplc.com.mnc004.mcc204.gprs",
+            "fleet.scania.com.mnc002.mcc262.gprs",
+            "internet.albion.gb",
+        ];
+        for user in 0..devices {
+            let sym = cat.intern_apn(apns[(user % 3) as usize]);
+            let label = RoamingLabel::ALL[(user % 6) as usize];
+            let sim = Plmn::of(204, 4);
+            for day in 0..days {
+                if (user + u64::from(day)) % 3 == 0 {
+                    continue; // inactive day
+                }
+                let row = cat.row_mut(user, Day(day), sim, tac, label);
+                row.events = user * 10 + u64::from(day);
+                row.failed_events = user % 3;
+                row.calls = user % 2;
+                row.sms = user % 5;
+                row.call_secs = user * 7;
+                row.data_sessions = 1 + user % 4;
+                row.bytes_up = user * 1_000;
+                row.bytes_down = user * 10_000;
+                row.visited.insert(Plmn::of(234, 30).packed());
+                row.visited.insert(Plmn::of(234, 10).packed());
+                row.apns.insert(sym);
+                row.radio_flags.any = RatSet::from_bits((1 + user % 15) as u8);
+                row.radio_flags.data = RatSet::from_bits((user % 4) as u8);
+                row.sector_set.insert(user * 31 + u64::from(day));
+                row.sector_set.insert(user * 31 + 1);
+                row.hourly[(user % 24) as usize] = day + 1;
+                row.in_designated_range = user % 7 == 0;
+                row.in_published_m2m_range = user % 11 == 0;
+                if user % 2 == 0 {
+                    row.mobility.add(
+                        GeoPoint::new(51.0 + user as f64 * 0.01, -(day as f64) * 0.02),
+                        2.0,
+                    );
+                }
+            }
+        }
+        cat
+    }
+
+    /// Resolves a catalog's rows into (identity, strings) form for
+    /// content comparison independent of symbol numbering.
+    fn resolved(cat: &DevicesCatalog) -> Vec<(u64, u32, Vec<String>, u64)> {
+        cat.iter()
+            .map(|r| {
+                (
+                    r.user,
+                    r.day.0,
+                    r.apns.iter().map(|&s| cat.apn_str(s).to_owned()).collect(),
+                    r.events,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn catalog_roundtrip_preserves_content() {
+        let cat = sample_catalog(40, 5);
+        let bytes = encode_catalog(&cat);
+        let back = decode_catalog(&bytes).unwrap();
+        assert_eq!(back.len(), cat.len());
+        assert_eq!(back.window_days(), cat.window_days());
+        assert_eq!(resolved(&back), resolved(&cat));
+        // Everything but the APN symbol numbering is field-for-field equal.
+        for (a, b) in cat.iter().zip(back.iter()) {
+            assert_eq!(
+                (a.user, a.day, a.sim_plmn, a.tac, a.label),
+                (b.user, b.day, b.sim_plmn, b.tac, b.label)
+            );
+            assert_eq!(a.mobility, b.mobility);
+            assert_eq!(a.radio_flags, b.radio_flags);
+            assert_eq!(a.hourly, b.hourly);
+            assert_eq!(a.visited, b.visited);
+            assert_eq!(a.sector_set, b.sector_set);
+        }
+    }
+
+    #[test]
+    fn catalog_encoding_is_canonical() {
+        // Decoded catalogs have the canonical (sorted) table, so a second
+        // encode is byte-identical — and so is encoding a catalog whose
+        // APNs were interned in a different order.
+        let cat = sample_catalog(25, 4);
+        let bytes = encode_catalog(&cat);
+        let back = decode_catalog(&bytes).unwrap();
+        assert!(back.apn_table().is_canonical());
+        assert_eq!(encode_catalog(&back), bytes);
+    }
+
+    #[test]
+    fn empty_catalog_roundtrip() {
+        let cat = DevicesCatalog::new(22);
+        let back = decode_catalog(&encode_catalog(&cat)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.window_days(), 22);
+    }
+
+    #[test]
+    fn catalog_rejects_bad_magic_and_truncation() {
+        let bytes = encode_catalog(&sample_catalog(5, 2)).to_vec();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(decode_catalog(&bad).is_err());
+        assert!(decode_catalog(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_catalog(&bytes[..10]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_catalog(&trailing).is_err());
+    }
+
+    #[test]
+    fn catalog_rejects_unsorted_table() {
+        // Header for a 0-row catalog with an out-of-order 2-entry table.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(CAT_MAGIC);
+        raw.extend_from_slice(&1u32.to_le_bytes()); // window_days
+        raw.extend_from_slice(&0u64.to_le_bytes()); // rows
+        raw.extend_from_slice(&0u32.to_le_bytes()); // chunks
+        raw.extend_from_slice(&2u32.to_le_bytes()); // table len
+        for s in ["b.example", "a.example"] {
+            raw.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            raw.extend_from_slice(s.as_bytes());
+        }
+        assert!(decode_catalog(&raw).is_err());
+    }
+
+    #[test]
+    fn catalog_spans_multiple_chunks() {
+        // More rows than one chunk holds: every chunk boundary exercised.
+        let mut cat = DevicesCatalog::new(3);
+        let sym = cat.intern_apn("telemetry.rwe.de");
+        let tac = Tac::new(35_000_000).unwrap();
+        for user in 0..(CAT_CHUNK_ROWS as u64 + 100) {
+            let row = cat.row_mut(
+                user,
+                Day((user % 3) as u32),
+                Plmn::of(262, 1),
+                tac,
+                RoamingLabel::IH,
+            );
+            row.events = user;
+            row.apns.insert(sym);
+        }
+        let bytes = encode_catalog(&cat);
+        let back = decode_catalog(&bytes).unwrap();
+        assert_eq!(back.len(), cat.len());
+        assert_eq!(resolved(&back), resolved(&cat));
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for v in values {
+            put_varint(&mut buf, v);
+        }
+        let mut slice: &[u8] = &buf;
+        for v in values {
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+        }
+        assert!(slice.is_empty());
+        // Truncated and overlong inputs are rejected.
+        assert!(get_varint(&mut &[0x80u8][..]).is_err());
+        assert!(get_varint(&mut &[0xffu8; 11][..]).is_err());
     }
 }

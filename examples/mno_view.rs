@@ -33,7 +33,8 @@ fn main() {
     })
     .run();
     let summaries = summarize(&output.catalog);
-    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    let classification =
+        Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
 
     // §4.2 — roaming labels.
     let labels = population::label_shares(&output.catalog);
@@ -162,7 +163,7 @@ fn main() {
         ),
         (
             "APN-only baseline",
-            baseline::apn_only_baseline(&output.tacdb, &summaries),
+            baseline::apn_only_baseline(&output.tacdb, &summaries, output.catalog.apn_table()),
         ),
     ] {
         let v = validate(&c, &truth);

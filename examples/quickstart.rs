@@ -42,7 +42,8 @@ fn main() {
 
     // 3. Run the paper's multi-step classifier (APN keywords → validated
     //    APNs → device-property propagation). It sees only probe records.
-    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    let classification =
+        Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
     println!("\nclassification (§4.3 pipeline):");
     for (class, share) in classification.shares() {
         println!("  {:<10} {:>5.1}%", class.label(), share * 100.0);

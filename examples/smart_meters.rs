@@ -31,7 +31,8 @@ fn main() {
     let summaries = summarize(&output.catalog);
     // The classifier runs first in a real deployment; here we only need
     // its side effects on the summaries, so run it for the printout.
-    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    let classification =
+        Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
     println!(
         "population: {} devices, {} classified m2m",
         summaries.len(),
@@ -43,7 +44,7 @@ fn main() {
     );
 
     // §4.4 — identify the two SMIP populations.
-    let pop = smip::identify(&summaries, &output.tacdb);
+    let pop = smip::identify(&summaries, &output.tacdb, output.catalog.apn_table());
     println!(
         "\nSMIP identification: {} native (dedicated IMSI range), {} roaming (energy APNs)",
         pop.native.len(),
@@ -96,7 +97,7 @@ fn main() {
     println!("           roaming {:?}", roaming.rat_categories);
 
     // Fig. 12 — meters vs connected cars.
-    let (cars, meters) = verticals::compare(&summaries);
+    let (cars, meters) = verticals::compare(&summaries, output.catalog.apn_table());
     println!(
         "\nverticals (Fig. 12): {} connected cars vs {} smart meters (inbound roaming)",
         cars.devices, meters.devices

@@ -40,7 +40,8 @@ fn simulate(label: &'static str, nbiot: f64, sunset: bool, transparency: bool) -
     })
     .run();
     let summaries = summarize(&output.catalog);
-    let classification = Classifier::new(&output.tacdb).classify(&summaries);
+    let classification =
+        Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
     let truth: std::collections::BTreeMap<_, _> = summaries
         .iter()
         .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))

@@ -44,7 +44,7 @@ fn mno_m2m_share(devices: usize, seed: u64) -> f64 {
     })
     .run();
     let summaries = summarize(&out.catalog);
-    let c = Classifier::new(&out.tacdb).classify(&summaries);
+    let c = Classifier::new(&out.tacdb).classify(&summaries, out.catalog.apn_table());
     c.shares().get(&DeviceClass::M2m).copied().unwrap_or(0.0)
 }
 

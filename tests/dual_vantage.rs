@@ -113,9 +113,10 @@ fn platform_device_visible_from_both_vantage_points() {
     let rows: Vec<_> = catalog.iter().collect();
     assert!(rows.iter().all(|r| r.user == anon));
     assert!(rows.iter().all(|r| r.label == RoamingLabel::IH));
-    assert!(rows
+    assert!(rows.iter().any(|r| r
+        .apns
         .iter()
-        .any(|r| r.apns.iter().any(|a| a.contains("connectedcar"))));
+        .any(|&a| catalog.apn_str(a).contains("connectedcar"))));
 
     // Cross-vantage consistency: the MNO sees *more* events than the
     // platform (local RAUs and data never reach the HMNO probe).

@@ -44,7 +44,8 @@ fn fixture() -> &'static Fixture {
         })
         .run();
         let summaries = summarize(&output.catalog);
-        let classification = Classifier::new(&output.tacdb).classify(&summaries);
+        let classification =
+            Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
         let truth = summaries
             .iter()
             .filter_map(|s| output.ground_truth.get(&s.user).map(|v| (s.user, *v)))
@@ -293,7 +294,7 @@ fn e14_traffic_volume_shapes() {
 #[test]
 fn e15_e17_smip_fingerprints() {
     let f = fixture();
-    let pop = smip::identify(&f.summaries, &f.output.tacdb);
+    let pop = smip::identify(&f.summaries, &f.output.tacdb, f.output.catalog.apn_table());
     assert!(pop.native.len() > 20, "native meters {}", pop.native.len());
     assert!(
         pop.roaming.len() > 50,
@@ -346,7 +347,7 @@ fn e15_e17_smip_fingerprints() {
 #[test]
 fn e18_cars_vs_meters() {
     let f = fixture();
-    let (cars, meters) = verticals::compare(&f.summaries);
+    let (cars, meters) = verticals::compare(&f.summaries, f.output.catalog.apn_table());
     assert!(cars.devices > 10 && meters.devices > 50);
     assert!(cars.gyration_km.median().unwrap() > 50.0);
     assert!(meters.gyration_km.median().unwrap() < 0.5);
@@ -365,7 +366,7 @@ fn e19_pipeline_beats_baselines() {
         &f.truth,
     );
     let apn = validate(
-        &baseline::apn_only_baseline(&f.output.tacdb, &f.summaries),
+        &baseline::apn_only_baseline(&f.output.tacdb, &f.summaries, f.output.catalog.apn_table()),
         &f.truth,
     );
     let full_recall = full.m2m_recall.unwrap();

@@ -29,7 +29,7 @@ fn run_full(devices: usize, nbiot: f64, sunset: bool, transparency: bool, seed: 
     })
     .run();
     let summaries = summarize(&out.catalog);
-    let classification = Classifier::new(&out.tacdb).classify(&summaries);
+    let classification = Classifier::new(&out.tacdb).classify(&summaries, out.catalog.apn_table());
     let m2m_truth_count = summaries
         .iter()
         .filter(|s| out.ground_truth.get(&s.user).is_some_and(|v| v.is_m2m()))
@@ -232,7 +232,9 @@ fn record_loss_degrades_gracefully() {
     .run();
     let shares = |out: &where_things_roam::scenarios::mno::MnoScenarioOutput| {
         let summaries = summarize(&out.catalog);
-        Classifier::new(&out.tacdb).classify(&summaries).shares()
+        Classifier::new(&out.tacdb)
+            .classify(&summaries, out.catalog.apn_table())
+            .shares()
     };
     let a = shares(&clean);
     let b = shares(&lossy);

@@ -26,8 +26,10 @@ fn export_import_classify_is_lossless() {
     assert_eq!(imported.len(), output.catalog.len());
     assert_eq!(imported.device_count(), output.catalog.device_count());
 
-    let original = Classifier::new(&output.tacdb).classify(&summarize(&output.catalog));
-    let roundtrip = Classifier::new(&output.tacdb).classify(&summarize(&imported));
+    let original = Classifier::new(&output.tacdb)
+        .classify(&summarize(&output.catalog), output.catalog.apn_table());
+    let roundtrip =
+        Classifier::new(&output.tacdb).classify(&summarize(&imported), imported.apn_table());
     assert_eq!(
         original.classes, roundtrip.classes,
         "classification must survive persistence"

@@ -60,7 +60,8 @@ fn mno_pipeline_is_thread_count_invariant() {
     assert_matrix("mno pipeline", || {
         let output = MnoScenario::new(config.clone()).run();
         let summaries = summarize(&output.catalog);
-        let classification = Classifier::new(&output.tacdb).classify(&summaries);
+        let classification =
+            Classifier::new(&output.tacdb).classify(&summaries, output.catalog.apn_table());
 
         // Serialize every stage that touches the parallel layer.
         let mut bytes = Vec::new();
@@ -153,6 +154,51 @@ fn catalog_io_roundtrip_is_thread_count_invariant() {
         match &reference {
             None => reference = Some(bytes),
             Some(r) => assert_eq!(r, &bytes),
+        }
+    }
+    par::set_threads(None);
+}
+
+#[test]
+fn wtrcat_codec_is_thread_count_invariant() {
+    // The chunked WTRCAT reader decodes row-group chunks on par workers;
+    // encoded bytes, the decoded catalog (via its JSONL re-export) and a
+    // re-encode must be identical at 1, 2 and 8 threads — and identical
+    // to a JSONL roundtrip of the same catalog.
+    let output = MnoScenario::new(MnoScenarioConfig {
+        devices: 300,
+        days: 4,
+        seed: 13,
+        nbiot_meter_fraction: 0.05,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let mut jsonl = Vec::new();
+    io::write_catalog(&mut jsonl, &output.catalog).unwrap();
+
+    let _guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
+    for &t in &MATRIX {
+        par::set_threads(Some(t));
+        let mut bin = Vec::new();
+        io::write_catalog_bin(&mut bin, &output.catalog).unwrap();
+        let back = io::read_catalog_bin(&bin[..]).unwrap();
+        // Decoded catalog re-exports to the exact pre-encode JSONL…
+        let mut reexport = Vec::new();
+        io::write_catalog(&mut reexport, &back).unwrap();
+        assert_eq!(reexport, jsonl, "WTRCAT→JSONL at {t} threads");
+        // …and re-encodes to the exact same binary (canonical form).
+        let mut reencode = Vec::new();
+        io::write_catalog_bin(&mut reencode, &back).unwrap();
+        assert_eq!(reencode, bin, "WTRCAT re-encode at {t} threads");
+        match &reference {
+            None => reference = Some((bin, reencode)),
+            Some((rb, rr)) => {
+                assert_eq!(rb, &bin, "WTRCAT bytes at {t} threads");
+                assert_eq!(rr, &reencode);
+            }
         }
     }
     par::set_threads(None);

@@ -7,6 +7,7 @@ use where_things_roam::core::metrics::{shares, CrossTab, Ecdf};
 use where_things_roam::model::apn::Apn;
 use where_things_roam::model::hash::{anonymize_u64, mix64, AnonKey};
 use where_things_roam::model::ids::{Imei, Imsi, Mcc, Mnc, Plmn, Tac};
+use where_things_roam::model::intern::ApnTable;
 use where_things_roam::model::operators::OperatorRegistry;
 use where_things_roam::model::roaming::RoamingLabel;
 use where_things_roam::model::time::SimTime;
@@ -198,6 +199,72 @@ proptest! {
         let approx = acc.gyration_km().unwrap();
         let tolerance = (exact * 0.05).max(0.5);
         prop_assert!((exact - approx).abs() < tolerance, "exact {} vs approx {}", exact, approx);
+    }
+
+    #[test]
+    fn intern_table_is_deterministic_and_order_insensitive(
+        strings in prop::collection::vec("[a-z]{1,10}(\\.[a-z0-9]{1,8}){0,2}", 0..40),
+        rot in 0usize..40,
+    ) {
+        // Interning assigns symbols by first occurrence: re-interning
+        // returns the same symbol, and resolution is the identity.
+        let mut table = ApnTable::new();
+        for s in &strings {
+            let sym = table.intern(s);
+            prop_assert_eq!(table.intern(s), sym);
+            prop_assert_eq!(table.resolve(sym), s.as_str());
+        }
+        // A table built from any rotation of the input canonicalizes to
+        // the same sorted table — symbols depend on *content*, never on
+        // ingest order (and never on hash order; there is no hashing).
+        let mut rotated = strings.clone();
+        if !rotated.is_empty() {
+            let k = rot % rotated.len();
+            rotated.rotate_left(k);
+        }
+        let mut other = ApnTable::new();
+        for s in &rotated {
+            other.intern(s);
+        }
+        let (canon_a, remap_a) = table.canonicalized();
+        let (canon_b, _) = other.canonicalized();
+        prop_assert_eq!(&canon_a, &canon_b);
+        prop_assert!(canon_a.is_canonical());
+        // The remap preserves string identity.
+        for (sym, s) in table.iter() {
+            prop_assert_eq!(canon_a.resolve(remap_a[sym.index()]), s);
+        }
+        // Serialized canonical tables are byte-identical.
+        prop_assert_eq!(
+            serde_json::to_string(&canon_a).unwrap(),
+            serde_json::to_string(&canon_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn intern_absorb_reproduces_serial_fold(
+        left in prop::collection::vec("[a-z]{1,8}", 0..20),
+        right in prop::collection::vec("[a-z]{1,8}", 0..20),
+    ) {
+        // Chunk-local tables absorbed left-to-right reproduce the serial
+        // first-occurrence assignment exactly (the parallel-ingest rule).
+        let mut serial = ApnTable::new();
+        for s in left.iter().chain(right.iter()) {
+            serial.intern(s);
+        }
+        let mut a = ApnTable::new();
+        for s in &left {
+            a.intern(s);
+        }
+        let mut b = ApnTable::new();
+        for s in &right {
+            b.intern(s);
+        }
+        let remap = a.absorb(&b);
+        prop_assert_eq!(&a, &serial);
+        for (sym, s) in b.iter() {
+            prop_assert_eq!(a.resolve(remap[sym.index()]), s);
+        }
     }
 
     #[test]
