@@ -3,16 +3,12 @@
 use crate::args::Args;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use wtr_core::analysis::activity::StatusGroup;
-use wtr_core::analysis::rat_usage::Plane;
-use wtr_core::analysis::traffic::TrafficMetric;
-use wtr_core::analysis::{
-    activity, diurnal, platform, population, rat_usage, revenue, smip, traffic, verticals,
-};
+use wtr_core::analysis::platform;
 use wtr_core::baseline;
 use wtr_core::classify::{Classification, Classifier, DeviceClass};
 use wtr_core::report;
-use wtr_core::summary::{summarize, DeviceSummary};
+use wtr_core::stream::{materialize_catalog, stream_catalog, StreamedCatalog, METRICS, PLANES};
+use wtr_core::summary::DeviceSummary;
 use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::TacDatabase;
 use wtr_probes::catalog::DevicesCatalog;
@@ -38,6 +34,23 @@ fn load_catalog(args: &Args) -> Result<DevicesCatalog, String> {
     probe_io::read_catalog_auto(open_in(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Loads everything the analysis commands need from `--catalog`.
+///
+/// With `--stream`, the file is folded chunk by chunk into summaries and
+/// label shares without ever materializing a [`DevicesCatalog`] — peak
+/// memory is O(devices + chunk window) instead of O(rows). Without it,
+/// the whole catalog loads and reduces to the identical
+/// [`StreamedCatalog`] (byte-for-byte: both paths share chunk
+/// boundaries), so every downstream number matches regardless of path.
+fn load_data(args: &Args) -> Result<StreamedCatalog, String> {
+    if args.flag("stream") {
+        let path = args.require("catalog")?;
+        stream_catalog(open_in(path)?).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Ok(materialize_catalog(&load_catalog(args)?))
+    }
+}
+
 /// `wtr simulate-mno`: run the §4–§7 scenario and export the catalog.
 pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(
@@ -52,13 +65,13 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
             "nbiot-meters",
             "record-loss",
         ],
-        &["sunset-2g", "transparency"],
+        &["sunset-2g", "transparency", "stream"],
     )?;
     if args.flag("help") {
         println!(
             "wtr simulate-mno --out catalog.jsonl [--out-bin catalog.wtrcat] [--truth truth.jsonl] \
              [--devices N] [--days D] [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] \
-             [--record-loss F]"
+             [--record-loss F] [--stream]"
         );
         return Ok(());
     }
@@ -76,7 +89,14 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         "simulating {} devices over {} days (seed {})…",
         config.devices, config.days, config.seed
     );
-    let output = MnoScenario::new(config).run();
+    // `--stream` drives the probe through the batched event stream —
+    // byte-identical catalog (test-enforced), bounded ingest buffers.
+    let scenario = MnoScenario::new(config);
+    let output = if args.flag("stream") {
+        scenario.run_streaming()
+    } else {
+        scenario.run()
+    };
     let mut out = open_out(out_path)?;
     probe_io::write_catalog(&mut out, &output.catalog).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
@@ -107,21 +127,20 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
 /// the measurement the paper's authors could not make (§4.3 relied on
 /// manual verification).
 pub fn validate_cmd(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["catalog", "truth", "pipeline"], &[])?;
+    let args = Args::parse(argv, &["catalog", "truth", "pipeline"], &["stream"])?;
     if args.flag("help") {
         println!(
-            "wtr validate --catalog catalog.jsonl --truth truth.jsonl [--pipeline full|apn|vendor|range]"
+            "wtr validate --catalog catalog.jsonl --truth truth.jsonl [--pipeline full|apn|vendor|range] [--stream]"
         );
         return Ok(());
     }
-    let catalog = load_catalog(&args)?;
+    let data = load_data(&args)?;
     let truth_path = args.require("truth")?;
     let truth =
         probe_io::read_truth(open_in(truth_path)?).map_err(|e| format!("{truth_path}: {e}"))?;
-    let summaries = summarize(&catalog);
     let tacdb = TacDatabase::standard();
     let pipeline = args.get("pipeline").unwrap_or("full");
-    let classification = classify_with(pipeline, &tacdb, &summaries, catalog.apn_table())?;
+    let classification = classify_with(pipeline, &tacdb, &data.summaries, &data.apns)?;
     let v = wtr_core::validate::validate(&classification, &truth);
     println!("pipeline: {pipeline}");
     println!("devices scored: {}", v.matrix.total());
@@ -216,18 +235,19 @@ fn classify_with(
 
 /// `wtr classify`: classification summary over a catalog.
 pub fn classify(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["catalog", "pipeline"], &[])?;
+    let args = Args::parse(argv, &["catalog", "pipeline"], &["stream"])?;
     if args.flag("help") {
-        println!("wtr classify --catalog catalog.jsonl [--pipeline full|apn|vendor|range]");
+        println!(
+            "wtr classify --catalog catalog.jsonl [--pipeline full|apn|vendor|range] [--stream]"
+        );
         return Ok(());
     }
-    let catalog = load_catalog(&args)?;
-    let summaries = summarize(&catalog);
+    let data = load_data(&args)?;
     let tacdb = TacDatabase::standard();
     let pipeline = args.get("pipeline").unwrap_or("full");
-    let classification = classify_with(pipeline, &tacdb, &summaries, catalog.apn_table())?;
+    let classification = classify_with(pipeline, &tacdb, &data.summaries, &data.apns)?;
     println!("pipeline: {pipeline}");
-    println!("devices: {}", summaries.len());
+    println!("devices: {}", data.summaries.len());
     for (class, share) in classification.shares() {
         println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
     }
@@ -244,18 +264,22 @@ pub fn classify(argv: &[String]) -> Result<(), String> {
 }
 
 /// `wtr analyze`: named analyses over a catalog.
+///
+/// All tables come from one broadcast fold over the summaries
+/// ([`wtr_core::stream::analyze`]); with `--stream` the catalog file
+/// itself is folded chunk by chunk too, so the whole command runs in
+/// bounded memory and exactly two passes (file → summaries → tables).
 pub fn analyze(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["catalog"], &[])?;
+    let args = Args::parse(argv, &["catalog"], &["stream"])?;
     if args.flag("help") {
         println!(
-            "wtr analyze --catalog catalog.jsonl [labels home classes rat traffic smip verticals diurnal revenue]"
+            "wtr analyze --catalog catalog.jsonl [--stream] [labels home classes rat traffic smip verticals diurnal revenue]"
         );
         return Ok(());
     }
-    let catalog = load_catalog(&args)?;
-    let summaries = summarize(&catalog);
+    let data = load_data(&args)?;
     let tacdb = TacDatabase::standard();
-    let classification = Classifier::new(&tacdb).classify(&summaries, catalog.apn_table());
+    let suite = wtr_core::stream::analyze(&data.summaries, &data.apns, data.window_days, &tacdb);
     let mut wanted: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
     if wanted.is_empty() {
         wanted = vec![
@@ -275,7 +299,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
     for analysis in wanted {
         match analysis {
             "labels" => {
-                let ls = population::label_shares(&catalog);
+                let ls = &data.label_shares;
                 println!("roaming-label shares (overall):");
                 for (label, share) in &ls.overall {
                     println!(
@@ -287,12 +311,12 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
             }
             "classes" => {
                 println!("device classes:");
-                for (class, share) in classification.shares() {
+                for (class, share) in suite.classification.shares() {
                     println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
                 }
             }
             "home" => {
-                let hc = population::home_countries(&summaries, &classification);
+                let hc = &suite.home;
                 print!(
                     "{}",
                     report::shares_table(
@@ -303,13 +327,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 );
             }
             "rat" => {
-                for plane in [Plane::Any, Plane::Data, Plane::Voice] {
-                    let usage = rat_usage::rat_usage(
-                        &summaries,
-                        &classification,
-                        &[DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat],
-                        plane,
-                    );
+                for (plane, usage) in PLANES.iter().zip(&suite.rat) {
                     println!("RAT usage ({}):", plane.label());
                     for u in usage {
                         let mut cats: Vec<(&String, &f64)> = u.shares.iter().collect();
@@ -324,17 +342,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 }
             }
             "traffic" => {
-                let pairs = [
-                    (DeviceClass::M2m, StatusGroup::InboundRoaming),
-                    (DeviceClass::Smart, StatusGroup::Native),
-                    (DeviceClass::Smart, StatusGroup::InboundRoaming),
-                ];
-                for metric in [
-                    TrafficMetric::SignalingPerDay,
-                    TrafficMetric::CallsPerDay,
-                    TrafficMetric::BytesPerDay,
-                ] {
-                    let dists = traffic::traffic_dist(&summaries, &classification, &pairs, metric);
+                for (metric, dists) in METRICS.iter().zip(&suite.traffic) {
                     println!("{} (medians):", metric.label());
                     for d in dists {
                         println!(
@@ -347,9 +355,8 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 }
             }
             "smip" => {
-                let pop = smip::identify(&summaries, &tacdb, catalog.apn_table());
-                let native = smip::group_stats(&summaries, &pop.native, catalog.window_days());
-                let roaming = smip::group_stats(&summaries, &pop.roaming, catalog.window_days());
+                let native = &suite.smip_native;
+                let roaming = &suite.smip_roaming;
                 println!(
                     "SMIP: {} native, {} roaming meters; signaling/day {:.1} vs {:.1}; failed {:.0}% vs {:.0}%",
                     native.devices,
@@ -361,7 +368,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 );
             }
             "verticals" => {
-                let (cars, meters) = verticals::compare(&summaries, catalog.apn_table());
+                let (cars, meters) = &suite.verticals;
                 println!(
                     "verticals: {} cars (gyration {:.1} km) vs {} meters (gyration {:.3} km)",
                     cars.devices,
@@ -371,13 +378,8 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 );
             }
             "diurnal" => {
-                let profiles = diurnal::profiles(
-                    &summaries,
-                    &classification,
-                    &[DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat],
-                );
                 println!("diurnal shapes:");
-                for p in profiles {
+                for p in &suite.diurnal {
                     println!(
                         "  {:<6} night {:>5.1}%  peak/trough {:>5.1}x",
                         p.class.label(),
@@ -387,13 +389,8 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 }
             }
             "revenue" => {
-                let econ = revenue::inbound_economics(
-                    &summaries,
-                    &classification,
-                    revenue::RateCard::default(),
-                );
                 println!("inbound economics:");
-                for e in econ {
+                for e in &suite.revenue {
                     println!(
                         "  {:<10} load {:>5.1}%  revenue {:>5.1}%  median €{:.4}/device",
                         e.class.label(),
@@ -404,14 +401,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 }
             }
             "active" => {
-                let res = activity::active_days(
-                    &summaries,
-                    &classification,
-                    &[
-                        (DeviceClass::M2m, StatusGroup::InboundRoaming),
-                        (DeviceClass::Smart, StatusGroup::InboundRoaming),
-                    ],
-                );
+                let res = &suite.active;
                 println!(
                     "active days (inbound medians): m2m {:.0}, smart {:.0}",
                     res[0].days.median().unwrap_or(0.0),
@@ -424,7 +414,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
                 // LTE-family active devices load the MME, 2G/3G the SGSN.
                 let mut mme = 0u64;
                 let mut sgsn = 0u64;
-                for s in &summaries {
+                for s in &data.summaries {
                     let set = s.radio_flags.any;
                     if set.contains(wtr_model::rat::Rat::G4)
                         || set.contains(wtr_model::rat::Rat::NbIot)

@@ -10,6 +10,7 @@ use crate::classify::{Classification, DeviceClass};
 use crate::metrics::Ecdf;
 use crate::summary::DeviceSummary;
 use serde::{Deserialize, Serialize};
+use wtr_sim::stream::{drive_slice, ChunkFold};
 
 /// Roaming-status grouping used by Fig. 7 / Fig. 10: native-attached
 /// (H:H / V:H) vs international inbound (I:H).
@@ -55,6 +56,68 @@ pub struct ActiveDays {
     pub days: Ecdf,
 }
 
+/// Streaming accumulator for [`active_days`]: one pass collects the
+/// sample vectors for every requested (class, status) pair. Chunk
+/// vectors concatenate in input order, so the ECDFs are identical at
+/// any thread count.
+#[derive(Debug, Clone)]
+pub struct ActiveDaysFold<'a> {
+    classification: &'a Classification,
+    pairs: &'a [(DeviceClass, StatusGroup)],
+    samples: Vec<Vec<f64>>,
+}
+
+impl<'a> ActiveDaysFold<'a> {
+    /// An empty accumulator for `pairs`.
+    pub fn new(
+        classification: &'a Classification,
+        pairs: &'a [(DeviceClass, StatusGroup)],
+    ) -> Self {
+        ActiveDaysFold {
+            classification,
+            pairs,
+            samples: vec![Vec::new(); pairs.len()],
+        }
+    }
+
+    /// Builds the Fig. 7 ECDFs, one per pair in construction order.
+    pub fn finish(self) -> Vec<ActiveDays> {
+        self.pairs
+            .iter()
+            .zip(self.samples)
+            .map(|((class, status), samples)| ActiveDays {
+                class: *class,
+                status: *status,
+                days: Ecdf::new(samples),
+            })
+            .collect()
+    }
+}
+
+impl ChunkFold<DeviceSummary> for ActiveDaysFold<'_> {
+    fn zero(&self) -> Self {
+        ActiveDaysFold::new(self.classification, self.pairs)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[DeviceSummary]) {
+        for s in chunk {
+            let class = self.classification.class_of(s.user);
+            let status = StatusGroup::of(s);
+            for (i, (wc, ws)) in self.pairs.iter().enumerate() {
+                if class == Some(*wc) && status == Some(*ws) {
+                    self.samples[i].push(s.active_days as f64);
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        for (mine, theirs) in self.samples.iter_mut().zip(later.samples) {
+            mine.extend(theirs);
+        }
+    }
+}
+
 /// Computes Fig. 7's active-days ECDFs for the requested (class, status)
 /// pairs.
 pub fn active_days(
@@ -62,24 +125,9 @@ pub fn active_days(
     classification: &Classification,
     pairs: &[(DeviceClass, StatusGroup)],
 ) -> Vec<ActiveDays> {
-    pairs
-        .iter()
-        .map(|(class, status)| {
-            let samples: Vec<f64> = summaries
-                .iter()
-                .filter(|s| {
-                    classification.class_of(s.user) == Some(*class)
-                        && StatusGroup::of(s) == Some(*status)
-                })
-                .map(|s| s.active_days as f64)
-                .collect();
-            ActiveDays {
-                class: *class,
-                status: *status,
-                days: Ecdf::new(samples),
-            }
-        })
-        .collect()
+    let mut fold = ActiveDaysFold::new(classification, pairs);
+    drive_slice(&mut fold, summaries);
+    fold.finish()
 }
 
 /// Gyration distribution for one (class, status) population (E12).
@@ -94,30 +142,77 @@ pub struct Gyration {
     pub gyration_km: Ecdf,
 }
 
+/// Streaming accumulator for [`gyration`]: same shape as
+/// [`ActiveDaysFold`], sampling `gyration_km()` where defined.
+#[derive(Debug, Clone)]
+pub struct GyrationFold<'a> {
+    classification: &'a Classification,
+    pairs: &'a [(DeviceClass, StatusGroup)],
+    samples: Vec<Vec<f64>>,
+}
+
+impl<'a> GyrationFold<'a> {
+    /// An empty accumulator for `pairs`.
+    pub fn new(
+        classification: &'a Classification,
+        pairs: &'a [(DeviceClass, StatusGroup)],
+    ) -> Self {
+        GyrationFold {
+            classification,
+            pairs,
+            samples: vec![Vec::new(); pairs.len()],
+        }
+    }
+
+    /// Builds the Fig. 8 ECDFs, one per pair in construction order.
+    pub fn finish(self) -> Vec<Gyration> {
+        self.pairs
+            .iter()
+            .zip(self.samples)
+            .map(|((class, status), samples)| Gyration {
+                class: *class,
+                status: *status,
+                gyration_km: Ecdf::new(samples),
+            })
+            .collect()
+    }
+}
+
+impl ChunkFold<DeviceSummary> for GyrationFold<'_> {
+    fn zero(&self) -> Self {
+        GyrationFold::new(self.classification, self.pairs)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[DeviceSummary]) {
+        for s in chunk {
+            let class = self.classification.class_of(s.user);
+            let status = StatusGroup::of(s);
+            for (i, (wc, ws)) in self.pairs.iter().enumerate() {
+                if class == Some(*wc) && status == Some(*ws) {
+                    if let Some(g) = s.gyration_km() {
+                        self.samples[i].push(g);
+                    }
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        for (mine, theirs) in self.samples.iter_mut().zip(later.samples) {
+            mine.extend(theirs);
+        }
+    }
+}
+
 /// Computes Fig. 8's radius-of-gyration ECDFs.
 pub fn gyration(
     summaries: &[DeviceSummary],
     classification: &Classification,
     pairs: &[(DeviceClass, StatusGroup)],
 ) -> Vec<Gyration> {
-    pairs
-        .iter()
-        .map(|(class, status)| {
-            let samples: Vec<f64> = summaries
-                .iter()
-                .filter(|s| {
-                    classification.class_of(s.user) == Some(*class)
-                        && StatusGroup::of(s) == Some(*status)
-                })
-                .filter_map(|s| s.gyration_km())
-                .collect();
-            Gyration {
-                class: *class,
-                status: *status,
-                gyration_km: Ecdf::new(samples),
-            }
-        })
-        .collect()
+    let mut fold = GyrationFold::new(classification, pairs);
+    drive_slice(&mut fold, summaries);
+    fold.finish()
 }
 
 #[cfg(test)]

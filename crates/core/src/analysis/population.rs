@@ -9,6 +9,7 @@ use wtr_model::country::Country;
 use wtr_model::roaming::RoamingLabel;
 use wtr_probes::catalog::{CatalogEntry, DevicesCatalog};
 use wtr_sim::par;
+use wtr_sim::stream::{drive_iter_with, drive_slice, ChunkFold};
 
 /// Per-day roaming-label shares (E6). The paper reports H:H ≈ 48%,
 /// V:H ≈ 33%, I:H ≈ 18% per day, "stable across the 22 days".
@@ -20,49 +21,101 @@ pub struct LabelShares {
     pub overall: BTreeMap<RoamingLabel, f64>,
 }
 
-/// Computes daily roaming-label shares from the catalog. The count pass
-/// is sharded over worker threads (`wtr_sim::par`) into ordered maps,
-/// keeping the result thread-count-invariant.
-pub fn label_shares(catalog: &DevicesCatalog) -> LabelShares {
-    let days = catalog.window_days();
-    let rows: Vec<&CatalogEntry> = catalog.iter().collect();
-    type Counts = (
-        Vec<BTreeMap<RoamingLabel, f64>>,
-        BTreeMap<RoamingLabel, f64>,
-    );
-    let (per_day_counts, overall_counts): Counts = par::par_map_reduce(
-        &rows,
-        || (vec![BTreeMap::new(); days as usize], BTreeMap::new()),
-        |(mut per_day, mut overall), row| {
-            if (row.day.0 as usize) < per_day.len() {
-                *per_day[row.day.0 as usize].entry(row.label).or_insert(0.0) += 1.0;
-            }
-            *overall.entry(row.label).or_insert(0.0) += 1.0;
-            (per_day, overall)
-        },
-        |(mut lp, mut lo), (rp, ro)| {
-            for (day, counts) in rp.into_iter().enumerate() {
-                for (label, n) in counts {
-                    *lp[day].entry(label).or_insert(0.0) += n;
-                }
-            }
-            for (label, n) in ro {
-                *lo.entry(label).or_insert(0.0) += n;
-            }
-            (lp, lo)
-        },
-    );
-    let normalize = |counts: BTreeMap<RoamingLabel, f64>| -> BTreeMap<RoamingLabel, f64> {
-        let total: f64 = counts.values().sum();
-        counts
-            .into_iter()
-            .map(|(l, c)| (l, if total > 0.0 { c / total } else { 0.0 }))
-            .collect()
-    };
-    LabelShares {
-        per_day: per_day_counts.into_iter().map(normalize).collect(),
-        overall: normalize(overall_counts),
+/// Streaming accumulator for [`label_shares`]: integer-valued counts per
+/// (day, label), so chunked folding and absorbing is exact. State is
+/// O(days × labels); rides along in the single-pass catalog pipeline
+/// next to the summary fold.
+#[derive(Debug, Clone)]
+pub struct LabelSharesFold {
+    per_day: Vec<BTreeMap<RoamingLabel, f64>>,
+    overall: BTreeMap<RoamingLabel, f64>,
+}
+
+impl LabelSharesFold {
+    /// An empty accumulator for a `window_days`-day catalog.
+    pub fn new(window_days: u32) -> Self {
+        LabelSharesFold {
+            per_day: vec![BTreeMap::new(); window_days as usize],
+            overall: BTreeMap::new(),
+        }
     }
+
+    fn fold_entry(&mut self, row: &CatalogEntry) {
+        if (row.day.0 as usize) < self.per_day.len() {
+            *self.per_day[row.day.0 as usize]
+                .entry(row.label)
+                .or_insert(0.0) += 1.0;
+        }
+        *self.overall.entry(row.label).or_insert(0.0) += 1.0;
+    }
+
+    fn merge(&mut self, later: LabelSharesFold) {
+        for (day, counts) in later.per_day.into_iter().enumerate() {
+            for (label, n) in counts {
+                *self.per_day[day].entry(label).or_insert(0.0) += n;
+            }
+        }
+        for (label, n) in later.overall {
+            *self.overall.entry(label).or_insert(0.0) += n;
+        }
+    }
+
+    /// Normalizes counts into shares.
+    pub fn finish(self) -> LabelShares {
+        let normalize = |counts: BTreeMap<RoamingLabel, f64>| -> BTreeMap<RoamingLabel, f64> {
+            let total: f64 = counts.values().sum();
+            counts
+                .into_iter()
+                .map(|(l, c)| (l, if total > 0.0 { c / total } else { 0.0 }))
+                .collect()
+        };
+        LabelShares {
+            per_day: self.per_day.into_iter().map(normalize).collect(),
+            overall: normalize(self.overall),
+        }
+    }
+}
+
+impl ChunkFold<CatalogEntry> for LabelSharesFold {
+    fn zero(&self) -> Self {
+        LabelSharesFold::new(self.per_day.len() as u32)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[CatalogEntry]) {
+        for row in chunk {
+            self.fold_entry(row);
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        self.merge(later);
+    }
+}
+
+impl ChunkFold<&CatalogEntry> for LabelSharesFold {
+    fn zero(&self) -> Self {
+        LabelSharesFold::new(self.per_day.len() as u32)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[&CatalogEntry]) {
+        for row in chunk {
+            self.fold_entry(row);
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        self.merge(later);
+    }
+}
+
+/// Computes daily roaming-label shares from the catalog. The count pass
+/// folds directly over the catalog's row iterator — no intermediate
+/// `Vec` of references — sharded over worker threads (`wtr_sim::par`)
+/// into ordered maps, keeping the result thread-count-invariant.
+pub fn label_shares(catalog: &DevicesCatalog) -> LabelShares {
+    let mut fold = LabelSharesFold::new(catalog.window_days());
+    drive_iter_with(&mut fold, par::chunk_size(catalog.len()), catalog.iter());
+    fold.finish()
 }
 
 /// Home-country structure of inbound roamers (Fig. 5; E8/E9).
@@ -76,38 +129,70 @@ pub struct HomeCountries {
     pub by_class: CrossTab,
 }
 
+/// Streaming accumulator for [`home_countries`]: integer-valued counts,
+/// exact under chunked folding. Borrows the classification for class
+/// lookups, so it can ride in a broadcast pass over the summaries.
+#[derive(Debug, Clone)]
+pub struct HomeCountriesFold<'a> {
+    classification: &'a Classification,
+    counts: BTreeMap<String, f64>,
+    by_class: CrossTab,
+}
+
+impl<'a> HomeCountriesFold<'a> {
+    /// An empty accumulator resolving classes through `classification`.
+    pub fn new(classification: &'a Classification) -> Self {
+        HomeCountriesFold {
+            classification,
+            counts: BTreeMap::new(),
+            by_class: CrossTab::new(),
+        }
+    }
+
+    /// Finalizes into the Fig. 5 distributions.
+    pub fn finish(self) -> HomeCountries {
+        HomeCountries {
+            overall: shares(self.counts),
+            by_class: self.by_class,
+        }
+    }
+}
+
+impl ChunkFold<DeviceSummary> for HomeCountriesFold<'_> {
+    fn zero(&self) -> Self {
+        HomeCountriesFold::new(self.classification)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[DeviceSummary]) {
+        for s in chunk {
+            if s.dominant_label.is_international_inbound() {
+                let iso = Country::by_mcc(s.sim_plmn.mcc)
+                    .map(|c| c.iso.to_owned())
+                    .unwrap_or_else(|| format!("mcc{}", s.sim_plmn.mcc));
+                *self.counts.entry(iso.clone()).or_insert(0.0) += 1.0;
+                if let Some(class) = self.classification.class_of(s.user) {
+                    self.by_class.add(class.label(), &iso, 1.0);
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        for (iso, n) in later.counts {
+            *self.counts.entry(iso).or_insert(0.0) += n;
+        }
+        self.by_class.merge(later.by_class);
+    }
+}
+
 /// Computes the Fig. 5 distributions over international inbound roamers.
 pub fn home_countries(
     summaries: &[DeviceSummary],
     classification: &Classification,
 ) -> HomeCountries {
-    let (counts, by_class) = par::par_map_reduce(
-        summaries,
-        || (BTreeMap::<String, f64>::new(), CrossTab::new()),
-        |(mut counts, mut by_class), s| {
-            if s.dominant_label.is_international_inbound() {
-                let iso = Country::by_mcc(s.sim_plmn.mcc)
-                    .map(|c| c.iso.to_owned())
-                    .unwrap_or_else(|| format!("mcc{}", s.sim_plmn.mcc));
-                *counts.entry(iso.clone()).or_insert(0.0) += 1.0;
-                if let Some(class) = classification.class_of(s.user) {
-                    by_class.add(class.label(), &iso, 1.0);
-                }
-            }
-            (counts, by_class)
-        },
-        |(mut lc, mut lt), (rc, rt)| {
-            for (iso, n) in rc {
-                *lc.entry(iso).or_insert(0.0) += n;
-            }
-            lt.merge(rt);
-            (lc, lt)
-        },
-    );
-    HomeCountries {
-        overall: shares(counts),
-        by_class,
-    }
+    let mut fold = HomeCountriesFold::new(classification);
+    drive_slice(&mut fold, summaries);
+    fold.finish()
 }
 
 /// The Fig. 6 heatmaps (E10): device class × roaming label, both
@@ -130,26 +215,56 @@ impl ClassLabelBreakdown {
     }
 }
 
+/// Streaming accumulator for [`class_label_breakdown`]: integer-valued
+/// cross-tab counts, exact under chunked folding.
+#[derive(Debug, Clone)]
+pub struct ClassLabelFold<'a> {
+    classification: &'a Classification,
+    table: CrossTab,
+}
+
+impl<'a> ClassLabelFold<'a> {
+    /// An empty accumulator resolving classes through `classification`.
+    pub fn new(classification: &'a Classification) -> Self {
+        ClassLabelFold {
+            classification,
+            table: CrossTab::new(),
+        }
+    }
+
+    /// Finalizes into the Fig. 6 table.
+    pub fn finish(self) -> ClassLabelBreakdown {
+        ClassLabelBreakdown { table: self.table }
+    }
+}
+
+impl ChunkFold<DeviceSummary> for ClassLabelFold<'_> {
+    fn zero(&self) -> Self {
+        ClassLabelFold::new(self.classification)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[DeviceSummary]) {
+        for s in chunk {
+            if let Some(class) = self.classification.class_of(s.user) {
+                self.table
+                    .add(class.label(), &s.dominant_label.to_string(), 1.0);
+            }
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        self.table.merge(later.table);
+    }
+}
+
 /// Builds the class × label table from device summaries.
 pub fn class_label_breakdown(
     summaries: &[DeviceSummary],
     classification: &Classification,
 ) -> ClassLabelBreakdown {
-    let table = par::par_map_reduce(
-        summaries,
-        CrossTab::new,
-        |mut table, s| {
-            if let Some(class) = classification.class_of(s.user) {
-                table.add(class.label(), &s.dominant_label.to_string(), 1.0);
-            }
-            table
-        },
-        |mut left, right| {
-            left.merge(right);
-            left
-        },
-    );
-    ClassLabelBreakdown { table }
+    let mut fold = ClassLabelFold::new(classification);
+    drive_slice(&mut fold, summaries);
+    fold.finish()
 }
 
 #[cfg(test)]

@@ -36,10 +36,12 @@ pub mod classify;
 pub mod keywords;
 pub mod metrics;
 pub mod report;
+pub mod stream;
 pub mod summary;
 pub mod validate;
 
 pub use classify::{Classification, Classifier, DeviceClass};
 pub use metrics::{CrossTab, Ecdf};
+pub use stream::{materialize_catalog, stream_catalog, AnalysisSuite, StreamedCatalog};
 pub use summary::{summarize, DeviceSummary};
 pub use validate::{ConfusionMatrix, Validation};

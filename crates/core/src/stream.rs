@@ -1,0 +1,373 @@
+//! Single-pass streaming front end for the visited-MNO pipeline.
+//!
+//! The materialized pipeline loads a whole [`DevicesCatalog`] into
+//! memory, then re-scans it (and the summary vector) once per analysis.
+//! This module collapses that into two bounded passes:
+//!
+//! 1. **File pass** ([`stream_catalog`]) — a chunked
+//!    [`CatalogStream`](wtr_probes::io::CatalogStream) feeds a broadcast
+//!    of [`ChunkFold`] sinks: device-summary accumulation
+//!    ([`SummaryFold`]) and per-day label shares ([`LabelSharesFold`])
+//!    ride the same chunks. Peak memory is O(devices + chunk window) —
+//!    catalog rows are dropped as soon as each chunk is folded, and no
+//!    `DevicesCatalog` ever exists.
+//! 2. **Summary pass** ([`analyze`]) — after classification, *every*
+//!    per-summary analysis table folds in one broadcast
+//!    [`drive_slice`] over the summaries (plus one short follow-up pass
+//!    for the SMIP group statistics, which need the identified member
+//!    sets). The 6+ independent re-scans of the materialized path
+//!    become one.
+//!
+//! # Equivalence
+//!
+//! Both passes use chunk boundaries that are pure functions of the
+//! record count ([`wtr_sim::par::chunk_size`]), the same boundaries the
+//! materialized functions use — so every number here is byte-identical
+//! to the materialized pipeline at any thread count. The
+//! `stream_equivalence` test suite serializes both sides and compares
+//! bytes.
+
+use crate::analysis::activity::{
+    active_days, gyration, ActiveDays, ActiveDaysFold, Gyration, GyrationFold, StatusGroup,
+};
+use crate::analysis::diurnal::{profiles, DiurnalFold, DiurnalProfile};
+use crate::analysis::population::{
+    class_label_breakdown, home_countries, ClassLabelBreakdown, ClassLabelFold, HomeCountries,
+    HomeCountriesFold, LabelShares, LabelSharesFold,
+};
+use crate::analysis::rat_usage::{rat_usage, Plane, RatUsage, RatUsageFold};
+use crate::analysis::revenue::{inbound_economics, ClassEconomics, RateCard, RevenueFold};
+use crate::analysis::smip::{
+    group_stats, identify, GroupStatsFold, SmipFold, SmipGroupStats, SmipPopulation,
+};
+use crate::analysis::traffic::{traffic_dist, TrafficDist, TrafficFold, TrafficMetric};
+use crate::analysis::verticals::{compare, VerticalProfile, VerticalsFold};
+use crate::classify::{Classification, Classifier, DeviceClass};
+use crate::summary::{DeviceSummary, SummaryFold};
+use std::io::BufRead;
+use wtr_model::intern::ApnTable;
+use wtr_model::tacdb::TacDatabase;
+use wtr_probes::catalog::DevicesCatalog;
+use wtr_probes::io::{CatalogStream, IoError};
+use wtr_sim::stream::{drive, drive_slice};
+
+/// The canonical classes the reporting pipeline profiles (Fig. 9,
+/// diurnal shapes): the populations the paper actually contrasts.
+pub const CLASSES: [DeviceClass; 3] = [DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat];
+
+/// The Fig. 10 traffic populations.
+pub const TRAFFIC_PAIRS: [(DeviceClass, StatusGroup); 3] = [
+    (DeviceClass::M2m, StatusGroup::InboundRoaming),
+    (DeviceClass::Smart, StatusGroup::Native),
+    (DeviceClass::Smart, StatusGroup::InboundRoaming),
+];
+
+/// The Fig. 7/Fig. 8 inbound-contrast populations.
+pub const ACTIVE_PAIRS: [(DeviceClass, StatusGroup); 2] = [
+    (DeviceClass::M2m, StatusGroup::InboundRoaming),
+    (DeviceClass::Smart, StatusGroup::InboundRoaming),
+];
+
+/// The three Fig. 9 planes, in reporting order.
+pub const PLANES: [Plane; 3] = [Plane::Any, Plane::Data, Plane::Voice];
+
+/// The three Fig. 10 metrics, in reporting order.
+pub const METRICS: [TrafficMetric; 3] = [
+    TrafficMetric::SignalingPerDay,
+    TrafficMetric::CallsPerDay,
+    TrafficMetric::BytesPerDay,
+];
+
+/// Everything the analysis pipeline needs from a catalog, produced
+/// without ever materializing the catalog itself.
+#[derive(Debug, Clone)]
+pub struct StreamedCatalog {
+    /// Per-device summaries (canonical user order).
+    pub summaries: Vec<DeviceSummary>,
+    /// The interned APN table the summaries' symbols resolve through.
+    pub apns: ApnTable,
+    /// Window length in days.
+    pub window_days: u32,
+    /// Catalog rows consumed.
+    pub rows: u64,
+    /// Per-day roaming-label shares (folded during the same pass).
+    pub label_shares: LabelShares,
+}
+
+/// Reads a catalog file (JSONL or `WTRCAT`, auto-sniffed) in bounded
+/// memory: one chunked pass feeds summary accumulation and the label
+/// shares simultaneously; rows are dropped chunk by chunk.
+///
+/// Byte-identical to `read_catalog_auto` followed by
+/// [`crate::summary::summarize`] and
+/// [`crate::analysis::population::label_shares`]: the stream re-chunks
+/// at [`wtr_sim::par::chunk_size`] of the declared row count, the same
+/// boundaries the materialized path folds with.
+pub fn stream_catalog<R: BufRead>(input: R) -> Result<StreamedCatalog, IoError> {
+    let mut stream = CatalogStream::new(input)?;
+    let window_days = stream.window_days();
+    let mut sinks = (SummaryFold::new(), LabelSharesFold::new(window_days));
+    let rows = drive(&mut stream, &mut sinks)?;
+    let apns = stream.finish()?;
+    let (summary_fold, label_fold) = sinks;
+    Ok(StreamedCatalog {
+        summaries: summary_fold.finish(),
+        apns,
+        window_days,
+        rows,
+        label_shares: label_fold.finish(),
+    })
+}
+
+/// [`StreamedCatalog`] built from an in-memory catalog — the
+/// materialized entry point to the same downstream [`analyze`] call.
+pub fn materialize_catalog(catalog: &DevicesCatalog) -> StreamedCatalog {
+    StreamedCatalog {
+        summaries: crate::summary::summarize(catalog),
+        apns: catalog.apn_table().clone(),
+        window_days: catalog.window_days(),
+        rows: catalog.len() as u64,
+        label_shares: crate::analysis::population::label_shares(catalog),
+    }
+}
+
+/// Every per-summary analysis table of the reporting pipeline, computed
+/// by [`analyze`] in one broadcast pass.
+#[derive(Debug, Clone)]
+pub struct AnalysisSuite {
+    /// The §4.3 classification.
+    pub classification: Classification,
+    /// Fig. 5 home-country structure of inbound roamers.
+    pub home: HomeCountries,
+    /// Fig. 6 class × label table.
+    pub class_label: ClassLabelBreakdown,
+    /// Fig. 9 RAT usage, one `Vec<RatUsage>` per plane in [`PLANES`]
+    /// order (each over [`CLASSES`]).
+    pub rat: Vec<Vec<RatUsage>>,
+    /// Fig. 10 traffic distributions, one `Vec<TrafficDist>` per metric
+    /// in [`METRICS`] order (each over [`TRAFFIC_PAIRS`]).
+    pub traffic: Vec<Vec<TrafficDist>>,
+    /// Fig. 7 active-days ECDFs over [`ACTIVE_PAIRS`].
+    pub active: Vec<ActiveDays>,
+    /// Fig. 8 gyration ECDFs over [`ACTIVE_PAIRS`].
+    pub gyration: Vec<Gyration>,
+    /// §4.4 SMIP populations.
+    pub smip: SmipPopulation,
+    /// Fig. 11 statistics for the native meters.
+    pub smip_native: SmipGroupStats,
+    /// Fig. 11 statistics for the roaming meters.
+    pub smip_roaming: SmipGroupStats,
+    /// Fig. 12 (connected-cars, smart-meters) profiles.
+    pub verticals: (VerticalProfile, VerticalProfile),
+    /// Diurnal profiles over [`CLASSES`].
+    pub diurnal: Vec<DiurnalProfile>,
+    /// Inbound load-vs-revenue economics.
+    pub revenue: Vec<ClassEconomics>,
+}
+
+/// Runs classification, then folds **all** analysis tables in one
+/// broadcast [`drive_slice`] over the summaries (nested
+/// [`ChunkFold`] tuples + `Vec` broadcast), plus one short follow-up
+/// pass for the SMIP group statistics (they need the member sets
+/// [`identify`] produces).
+///
+/// Byte-identical to calling each analysis function separately — the
+/// broadcast shares chunk boundaries with the standalone drivers — and
+/// thread-count invariant.
+pub fn analyze(
+    summaries: &[DeviceSummary],
+    apns: &ApnTable,
+    window_days: u32,
+    tacdb: &TacDatabase,
+) -> AnalysisSuite {
+    let classification = Classifier::new(tacdb).classify(summaries, apns);
+
+    let rat_folds: Vec<RatUsageFold> = PLANES
+        .iter()
+        .map(|plane| RatUsageFold::new(&classification, &CLASSES, *plane))
+        .collect();
+    let traffic_folds: Vec<TrafficFold> = METRICS
+        .iter()
+        .map(|metric| TrafficFold::new(&classification, &TRAFFIC_PAIRS, *metric))
+        .collect();
+    let mut sinks = (
+        HomeCountriesFold::new(&classification),
+        ClassLabelFold::new(&classification),
+        rat_folds,
+        traffic_folds,
+        (
+            ActiveDaysFold::new(&classification, &ACTIVE_PAIRS),
+            GyrationFold::new(&classification, &ACTIVE_PAIRS),
+            SmipFold::new(tacdb, apns),
+            VerticalsFold::new(apns),
+            (
+                DiurnalFold::new(&classification, &CLASSES),
+                RevenueFold::new(&classification, RateCard::default()),
+            ),
+        ),
+    );
+    drive_slice(&mut sinks, summaries);
+    let (
+        home_fold,
+        class_label_fold,
+        rat_folds,
+        traffic_folds,
+        (active_fold, gyration_fold, smip_fold, verticals_fold, (diurnal_fold, revenue_fold)),
+    ) = sinks;
+
+    let smip = smip_fold.finish();
+    // Second (short) pass: the Fig. 11 group statistics depend on the
+    // member sets identified above, so they cannot ride the first
+    // broadcast. Both groups fold in one pass here.
+    let mut group_sinks = (
+        GroupStatsFold::new(&smip.native, window_days),
+        GroupStatsFold::new(&smip.roaming, window_days),
+    );
+    drive_slice(&mut group_sinks, summaries);
+    let (native_fold, roaming_fold) = group_sinks;
+
+    AnalysisSuite {
+        home: home_fold.finish(),
+        class_label: class_label_fold.finish(),
+        rat: rat_folds.into_iter().map(RatUsageFold::finish).collect(),
+        traffic: traffic_folds.into_iter().map(TrafficFold::finish).collect(),
+        active: active_fold.finish(),
+        gyration: gyration_fold.finish(),
+        smip_native: native_fold.finish(),
+        smip_roaming: roaming_fold.finish(),
+        smip,
+        verticals: verticals_fold.finish(),
+        diurnal: diurnal_fold.finish(),
+        revenue: revenue_fold.finish(),
+        classification,
+    }
+}
+
+/// The same suite via the standalone per-table functions — the
+/// reference the equivalence tests compare [`analyze`] against.
+pub fn analyze_rescan(
+    summaries: &[DeviceSummary],
+    apns: &ApnTable,
+    window_days: u32,
+    tacdb: &TacDatabase,
+) -> AnalysisSuite {
+    let classification = Classifier::new(tacdb).classify(summaries, apns);
+    let smip = identify(summaries, tacdb, apns);
+    AnalysisSuite {
+        home: home_countries(summaries, &classification),
+        class_label: class_label_breakdown(summaries, &classification),
+        rat: PLANES
+            .iter()
+            .map(|p| rat_usage(summaries, &classification, &CLASSES, *p))
+            .collect(),
+        traffic: METRICS
+            .iter()
+            .map(|m| traffic_dist(summaries, &classification, &TRAFFIC_PAIRS, *m))
+            .collect(),
+        active: active_days(summaries, &classification, &ACTIVE_PAIRS),
+        gyration: gyration(summaries, &classification, &ACTIVE_PAIRS),
+        smip_native: group_stats(summaries, &smip.native, window_days),
+        smip_roaming: group_stats(summaries, &smip.roaming, window_days),
+        verticals: compare(summaries, apns),
+        diurnal: profiles(summaries, &classification, &CLASSES),
+        revenue: inbound_economics(summaries, &classification, RateCard::default()),
+        smip,
+        classification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtr_model::ids::{Plmn, Tac};
+    use wtr_model::roaming::RoamingLabel;
+    use wtr_model::time::Day;
+    use wtr_probes::io::{write_catalog, write_catalog_bin};
+
+    fn catalog() -> DevicesCatalog {
+        let mut cat = DevicesCatalog::new(5);
+        let apn = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
+        let tac = Tac::new(35_000_000).unwrap();
+        for user in 0..40u64 {
+            for day in 0..(1 + user % 5) as u32 {
+                let (plmn, label) = if user % 3 == 0 {
+                    (Plmn::of(204, 4), RoamingLabel::IH)
+                } else {
+                    (Plmn::of(234, 30), RoamingLabel::HH)
+                };
+                let r = cat.row_mut(user, Day(day), plmn, tac, label);
+                r.events += 2 + user % 7;
+                if user % 3 == 0 {
+                    r.apns.insert(apn);
+                }
+            }
+        }
+        cat
+    }
+
+    #[test]
+    fn stream_catalog_matches_materialized_jsonl() {
+        let cat = catalog();
+        let mut buf = Vec::new();
+        write_catalog(&mut buf, &cat).unwrap();
+        let streamed = stream_catalog(buf.as_slice()).unwrap();
+        let materialized = materialize_catalog(&cat);
+        assert_eq!(streamed.rows, materialized.rows);
+        assert_eq!(streamed.window_days, materialized.window_days);
+        assert_eq!(
+            serde_json::to_string(&streamed.summaries).unwrap(),
+            serde_json::to_string(&materialized.summaries).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&streamed.label_shares).unwrap(),
+            serde_json::to_string(&materialized.label_shares).unwrap()
+        );
+    }
+
+    #[test]
+    fn stream_catalog_matches_materialized_wtrcat() {
+        let cat = catalog();
+        let mut buf = Vec::new();
+        write_catalog_bin(&mut buf, &cat).unwrap();
+        let streamed = stream_catalog(buf.as_slice()).unwrap();
+        let materialized = materialize_catalog(&cat);
+        assert_eq!(
+            serde_json::to_string(&streamed.summaries).unwrap(),
+            serde_json::to_string(&materialized.summaries).unwrap()
+        );
+        assert_eq!(streamed.apns.strings(), materialized.apns.strings());
+    }
+
+    #[test]
+    fn broadcast_suite_matches_rescans() {
+        let cat = catalog();
+        let data = materialize_catalog(&cat);
+        let tacdb = TacDatabase::standard();
+        let one_pass = analyze(&data.summaries, &data.apns, data.window_days, &tacdb);
+        let rescan = analyze_rescan(&data.summaries, &data.apns, data.window_days, &tacdb);
+        assert_eq!(
+            serde_json::to_string(&one_pass.classification).unwrap(),
+            serde_json::to_string(&rescan.classification).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&one_pass.home).unwrap(),
+            serde_json::to_string(&rescan.home).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&one_pass.rat).unwrap(),
+            serde_json::to_string(&rescan.rat).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&one_pass.traffic).unwrap(),
+            serde_json::to_string(&rescan.traffic).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&one_pass.smip).unwrap(),
+            serde_json::to_string(&rescan.smip).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&one_pass.revenue).unwrap(),
+            serde_json::to_string(&rescan.revenue).unwrap()
+        );
+    }
+}

@@ -12,6 +12,7 @@ use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
 use wtr_probes::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
 use wtr_sim::par;
+use wtr_sim::stream::{drive_iter_with, ChunkFold};
 
 /// One device, aggregated over the whole observation window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,7 +127,7 @@ type Partial = BTreeMap<u64, (DeviceSummary, BTreeMap<RoamingLabel, u32>)>;
 /// Folds one catalog row into a partial. First-touch identity: the first
 /// row a device contributes (earliest (user, day) in the chunk) sets
 /// `sim_plmn`/`tac`/`first_day`.
-fn fold_row(mut acc: Partial, row: &CatalogEntry) -> Partial {
+fn fold_row(acc: &mut Partial, row: &CatalogEntry) {
     let (s, counts) = acc.entry(row.user).or_insert_with(|| {
         (
             DeviceSummary {
@@ -175,12 +176,11 @@ fn fold_row(mut acc: Partial, row: &CatalogEntry) -> Partial {
     }
     s.mobility.merge(&row.mobility);
     *counts.entry(row.label).or_insert(0) += 1;
-    acc
 }
 
 /// Merges the partial of a *later* chunk into an earlier one. Identity
 /// fields keep the left (earlier) side, matching the serial fold.
-fn merge_partials(mut left: Partial, right: Partial) -> Partial {
+fn merge_partials(left: &mut Partial, right: Partial) {
     for (user, (rs, rcounts)) in right {
         match left.entry(user) {
             std::collections::btree_map::Entry::Vacant(v) => {
@@ -213,35 +213,103 @@ fn merge_partials(mut left: Partial, right: Partial) -> Partial {
             }
         }
     }
-    left
+}
+
+/// Streaming accumulator for per-device summaries: the [`ChunkFold`]
+/// behind [`summarize`] and the single-pass catalog pipeline
+/// (`wtr_core::stream`).
+///
+/// Folds catalog rows (owned or borrowed chunks) into a per-device
+/// partial; [`SummaryFold::finish`] resolves the dominant-label vote and
+/// yields summaries sorted by device ID. State is O(devices), never
+/// O(rows): this is what lets a visited-MNO-scale catalog stream through
+/// without materializing.
+///
+/// Rows must arrive in the catalog's canonical (user, day) order for the
+/// first-touch identity fields (`sim_plmn`/`tac`) to match the
+/// materialized path — both the JSONL and WTRCAT writers emit that
+/// order. All merges are integer adds, set unions and "first wins"
+/// choices except the f64 mobility accumulator, whose bit-exactness
+/// across paths is guaranteed by pinning chunk boundaries
+/// (`wtr_sim::par::chunk_size`) rather than by associativity.
+#[derive(Debug, Default)]
+pub struct SummaryFold {
+    partial: Partial,
+}
+
+impl SummaryFold {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SummaryFold::default()
+    }
+
+    /// Devices seen so far.
+    pub fn device_count(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Resolves dominant labels and returns summaries sorted by device
+    /// ID (`BTreeMap` order).
+    pub fn finish(self) -> Vec<DeviceSummary> {
+        self.partial
+            .into_values()
+            .map(|(mut s, counts)| {
+                if let Some((label, _)) = counts
+                    .iter()
+                    .max_by_key(|(l, c)| (**c, std::cmp::Reverse(**l)))
+                {
+                    s.dominant_label = *label;
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl ChunkFold<CatalogEntry> for SummaryFold {
+    fn zero(&self) -> Self {
+        SummaryFold::new()
+    }
+
+    fn fold_chunk(&mut self, chunk: &[CatalogEntry]) {
+        for row in chunk {
+            fold_row(&mut self.partial, row);
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        merge_partials(&mut self.partial, later.partial);
+    }
+}
+
+impl ChunkFold<&CatalogEntry> for SummaryFold {
+    fn zero(&self) -> Self {
+        SummaryFold::new()
+    }
+
+    fn fold_chunk(&mut self, chunk: &[&CatalogEntry]) {
+        for row in chunk {
+            fold_row(&mut self.partial, row);
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        merge_partials(&mut self.partial, later.partial);
+    }
 }
 
 /// Folds a devices-catalog into per-device summaries, sorted by device ID.
 ///
-/// The fold is sharded over worker threads (`wtr_sim::par`); because the
-/// catalog iterates in (user, day) order and chunk partials merge in
-/// order, the result is identical — byte for byte once serialized — at
-/// any thread count.
+/// The fold is sharded over worker threads (`wtr_sim::par`) through
+/// [`SummaryFold`] without collecting the rows first; because the
+/// catalog iterates in (user, day) order, chunk boundaries are pinned by
+/// [`par::chunk_size`] and chunk partials merge in order, the result is
+/// identical — byte for byte once serialized — at any thread count, and
+/// bit-identical to streaming the same rows from a catalog file.
 pub fn summarize(catalog: &DevicesCatalog) -> Vec<DeviceSummary> {
-    let rows: Vec<&CatalogEntry> = catalog.iter().collect();
-    let merged = par::par_map_reduce(
-        &rows,
-        BTreeMap::new,
-        |acc, row| fold_row(acc, row),
-        merge_partials,
-    );
-    merged
-        .into_values()
-        .map(|(mut s, counts)| {
-            if let Some((label, _)) = counts
-                .iter()
-                .max_by_key(|(l, c)| (**c, std::cmp::Reverse(**l)))
-            {
-                s.dominant_label = *label;
-            }
-            s
-        })
-        .collect()
+    let mut fold = SummaryFold::new();
+    drive_iter_with(&mut fold, par::chunk_size(catalog.len()), catalog.iter());
+    fold.finish()
 }
 
 #[cfg(test)]

@@ -14,14 +14,17 @@
 
 use crate::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
 use crate::records::M2mTransaction;
+use crate::wire;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 use wtr_model::ids::{Plmn, Tac};
+use wtr_model::intern::{ApnSym, ApnTable};
 use wtr_model::rat::RadioFlags;
 use wtr_model::roaming::RoamingLabel;
 use wtr_model::time::Day;
 use wtr_sim::par;
+use wtr_sim::stream::RecordStream;
 
 /// Header line of a catalog JSONL stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,12 +186,13 @@ impl CatalogRowWire {
         }
     }
 
-    /// Interns this wire row's APN strings into `catalog` and installs
-    /// the row.
-    fn install(self, catalog: &mut DevicesCatalog) {
-        let apns: BTreeSet<_> = self.apns.iter().map(|a| catalog.intern_apn(a)).collect();
-        let row = catalog.row_mut(self.user, self.day, self.sim_plmn, self.tac, self.label);
-        *row = CatalogEntry {
+    /// Builds the in-memory entry, interning this wire row's APN strings
+    /// through `intern` (in sorted-string order — the order the wire
+    /// `BTreeSet` iterates). Shared by the materialized install path and
+    /// the streaming reader, so both intern in exactly the same order.
+    fn into_entry(self, mut intern: impl FnMut(&str) -> ApnSym) -> CatalogEntry {
+        let apns: BTreeSet<ApnSym> = self.apns.iter().map(|a| intern(a)).collect();
+        CatalogEntry {
             user: self.user,
             day: self.day,
             sim_plmn: self.sim_plmn,
@@ -210,7 +214,16 @@ impl CatalogRowWire {
             in_designated_range: self.in_designated_range,
             in_published_m2m_range: self.in_published_m2m_range,
             mobility: self.mobility,
-        };
+        }
+    }
+
+    /// Interns this wire row's APN strings into `catalog` and installs
+    /// the row.
+    fn install(self, catalog: &mut DevicesCatalog) {
+        let (user, day, sim_plmn, tac, label) =
+            (self.user, self.day, self.sim_plmn, self.tac, self.label);
+        let entry = self.into_entry(|a| catalog.intern_apn(a));
+        *catalog.row_mut(user, day, sim_plmn, tac, label) = entry;
     }
 }
 
@@ -307,6 +320,279 @@ pub fn read_catalog_auto<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoE
         read_catalog_bin(input)
     } else {
         read_catalog(input)
+    }
+}
+
+/// Reads exactly `n` bytes from `r`.
+fn read_exact_vec<R: Read>(r: &mut R, n: usize, what: &str) -> Result<Vec<u8>, IoError> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)
+        .map_err(|e| match e.kind() {
+            io::ErrorKind::UnexpectedEof => {
+                io::Error::new(e.kind(), format!("truncated {what}: {e}"))
+            }
+            _ => e,
+        })
+        .map_err(IoError::Io)?;
+    Ok(buf)
+}
+
+/// Which on-disk format a [`CatalogStream`] is decoding.
+enum StreamBackend<R> {
+    /// JSONL: rows parse in parallel per line block; APN strings intern
+    /// into the stream's growing table in row order (identical to
+    /// [`read_catalog`]'s serial install order).
+    Jsonl {
+        lines: io::Lines<R>,
+        /// 1-based number of the last physical line consumed.
+        line_no: usize,
+    },
+    /// `WTRCAT`: the canonical table came from the file header; row
+    /// chunks decode lazily, one length-prefixed frame at a time.
+    Wtrcat {
+        input: R,
+        remaining_chunks: u32,
+        table_len: usize,
+    },
+}
+
+/// A chunk-at-a-time devices-catalog reader: the [`RecordStream`]
+/// behind the bounded-memory pipeline.
+///
+/// Sniffs the format like [`read_catalog_auto`] (a `WTRCAT` magic means
+/// binary, anything else JSONL), reads the header eagerly — window
+/// length, declared row count and, for `WTRCAT`, the canonical APN
+/// table — then yields rows in file order **without ever materializing
+/// a [`DevicesCatalog`]**. Peak memory is O(chunk), not O(rows).
+///
+/// # Determinism and equivalence
+///
+/// * Emitted chunk boundaries are [`par::chunk_size`] of the *declared*
+///   row count — the same pure-in-`n` boundaries
+///   [`wtr_sim::stream::drive_slice`] uses over a materialized slice of
+///   the same rows. Folds driven from this stream therefore execute the
+///   exact same arithmetic, in the same order, as the materialized
+///   path: byte-identical results, including floating-point bits.
+/// * APN symbols match the materialized readers exactly: JSONL interns
+///   in row order (like [`read_catalog`]), `WTRCAT` uses the file's
+///   canonical table (like [`wire::decode_catalog`]). Resolve the
+///   emitted rows' symbols through [`CatalogStream::apn_table`] /
+///   [`CatalogStream::finish`].
+pub struct CatalogStream<R> {
+    backend: StreamBackend<R>,
+    table: ApnTable,
+    window_days: u32,
+    declared_rows: u64,
+    rows_seen: u64,
+    /// Rows per emitted chunk: `par::chunk_size(declared_rows)`.
+    chunk_len: usize,
+    pending: Vec<CatalogEntry>,
+    exhausted: bool,
+}
+
+impl<R: BufRead> CatalogStream<R> {
+    /// Opens a catalog stream over `input`, sniffing the format from
+    /// the leading bytes and reading the header eagerly.
+    pub fn new(mut input: R) -> Result<Self, IoError> {
+        let head = input.fill_buf()?;
+        let magic = wire::CAT_MAGIC;
+        if head.len() >= magic.len() && &head[..magic.len()] == magic {
+            Self::new_wtrcat(input)
+        } else {
+            Self::new_jsonl(input)
+        }
+    }
+
+    fn new_jsonl(input: R) -> Result<Self, IoError> {
+        let mut lines = input.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| IoError::BadHeader("empty input".into()))??;
+        let header: CatalogHeader =
+            serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+        if header.format != CATALOG_FORMAT {
+            return Err(IoError::BadHeader(format!(
+                "unknown format {:?}",
+                header.format
+            )));
+        }
+        let declared_rows = header.rows as u64;
+        Ok(CatalogStream {
+            backend: StreamBackend::Jsonl { lines, line_no: 1 },
+            table: ApnTable::new(),
+            window_days: header.window_days,
+            declared_rows,
+            rows_seen: 0,
+            chunk_len: par::chunk_size(header.rows),
+            pending: Vec::new(),
+            exhausted: false,
+        })
+    }
+
+    fn new_wtrcat(mut input: R) -> Result<Self, IoError> {
+        // Read the structure-delimited header region (fixed fields plus
+        // the length-prefixed table strings), then hand the bytes to the
+        // wire parser — one source of truth for validation.
+        // magic | window_days u32 | rows u64 | chunks u32 | table_len u32.
+        let mut raw = read_exact_vec(&mut input, wire::CAT_MAGIC.len() + 4 + 8 + 4 + 4, "header")?;
+        let table_len =
+            u32::from_le_bytes(raw[raw.len() - 4..].try_into().expect("4 bytes")) as usize;
+        for _ in 0..table_len {
+            let len_bytes = read_exact_vec(&mut input, 2, "APN string length")?;
+            let len = u16::from_le_bytes(len_bytes[..].try_into().expect("2 bytes")) as usize;
+            raw.extend_from_slice(&len_bytes);
+            raw.extend_from_slice(&read_exact_vec(&mut input, len, "APN string bytes")?);
+        }
+        let mut slice = &raw[..];
+        let header = wire::decode_catalog_header(&mut slice)
+            .map_err(|e| IoError::BadHeader(e.to_string()))?;
+        debug_assert!(slice.is_empty(), "header region fully consumed");
+        let declared_rows = header.rows;
+        Ok(CatalogStream {
+            backend: StreamBackend::Wtrcat {
+                input,
+                remaining_chunks: header.chunks,
+                table_len: header.table.len(),
+            },
+            table: header.table,
+            window_days: header.window_days,
+            declared_rows,
+            rows_seen: 0,
+            chunk_len: par::chunk_size(usize::try_from(declared_rows).unwrap_or(usize::MAX)),
+            pending: Vec::new(),
+            exhausted: false,
+        })
+    }
+
+    /// Length of the observation window in days.
+    pub fn window_days(&self) -> u32 {
+        self.window_days
+    }
+
+    /// Row count declared by the header (validated by
+    /// [`CatalogStream::finish`]).
+    pub fn declared_rows(&self) -> u64 {
+        self.declared_rows
+    }
+
+    /// Rows decoded so far.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// The APN table emitted rows' symbols resolve through. For JSONL
+    /// inputs the table **grows while streaming** (first-occurrence
+    /// interning in row order) — resolve symbols only after the stream
+    /// is exhausted. `WTRCAT` tables are complete (and canonical) from
+    /// the start.
+    pub fn apn_table(&self) -> &ApnTable {
+        &self.table
+    }
+
+    /// Validates the end-of-stream invariants (stream exhausted, row
+    /// count matches the header) and returns the final APN table.
+    pub fn finish(self) -> Result<ApnTable, IoError> {
+        if !self.exhausted || !self.pending.is_empty() {
+            return Err(IoError::BadHeader(
+                "catalog stream not fully consumed".into(),
+            ));
+        }
+        if self.rows_seen != self.declared_rows {
+            return Err(IoError::BadHeader(format!(
+                "header promised {} rows, found {}",
+                self.declared_rows, self.rows_seen
+            )));
+        }
+        Ok(self.table)
+    }
+
+    /// Pulls one backend unit (a line block or a `WTRCAT` chunk window)
+    /// into `pending`. Sets `exhausted` at end of input.
+    fn refill(&mut self) -> Result<(), IoError> {
+        match &mut self.backend {
+            StreamBackend::Jsonl { lines, line_no } => {
+                let mut numbered: Vec<(usize, String)> = Vec::new();
+                while numbered.len() < wire::CAT_CHUNK_ROWS {
+                    match lines.next() {
+                        None => {
+                            self.exhausted = true;
+                            break;
+                        }
+                        Some(line) => {
+                            *line_no += 1;
+                            let line = line?;
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            numbered.push((*line_no, line));
+                        }
+                    }
+                }
+                let wires: Vec<CatalogRowWire> = parse_lines(&numbered)?;
+                self.rows_seen += wires.len() as u64;
+                let table = &mut self.table;
+                self.pending
+                    .extend(wires.into_iter().map(|w| w.into_entry(|a| table.intern(a))));
+            }
+            StreamBackend::Wtrcat {
+                input,
+                remaining_chunks,
+                table_len,
+            } => {
+                // Read up to a worker-window of frames, then decode them
+                // in parallel (decode is pure per chunk, so the window
+                // size cannot affect the output).
+                let window = par::threads().max(1).min(*remaining_chunks as usize);
+                let mut frames: Vec<(Vec<u8>, usize)> = Vec::with_capacity(window);
+                for _ in 0..window {
+                    let frame = read_exact_vec(input, 8, "chunk frame")?;
+                    let byte_len =
+                        u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+                    let rows = u32::from_le_bytes(frame[4..].try_into().expect("4 bytes")) as usize;
+                    frames.push((read_exact_vec(input, byte_len, "chunk body")?, rows));
+                    *remaining_chunks -= 1;
+                }
+                if *remaining_chunks == 0 {
+                    // Past the final chunk the file must end.
+                    let mut probe = [0u8; 1];
+                    if input.read(&mut probe)? != 0 {
+                        return Err(IoError::BadHeader(
+                            "bytes after the final WTRCAT chunk".into(),
+                        ));
+                    }
+                    self.exhausted = true;
+                }
+                let table_len = *table_len;
+                let decoded = par::par_each(&frames, |(body, rows)| {
+                    wire::decode_chunk_rows(body, *rows, table_len)
+                });
+                for chunk in decoded {
+                    let chunk = chunk.map_err(|e| IoError::BadHeader(e.to_string()))?;
+                    self.rows_seen += chunk.len() as u64;
+                    self.pending.extend(chunk);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> RecordStream for CatalogStream<R> {
+    type Item = CatalogEntry;
+    type Error = IoError;
+
+    fn next_chunk(&mut self) -> Result<Option<Vec<CatalogEntry>>, IoError> {
+        while !self.exhausted && self.pending.len() < self.chunk_len {
+            self.refill()?;
+        }
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        if self.pending.len() <= self.chunk_len {
+            return Ok(Some(std::mem::take(&mut self.pending)));
+        }
+        let rest = self.pending.split_off(self.chunk_len);
+        Ok(Some(std::mem::replace(&mut self.pending, rest)))
     }
 }
 
@@ -511,6 +797,64 @@ mod tests {
         write_catalog(&mut b, &from_bin).unwrap();
         assert_eq!(a, jsonl, "JSONL reimport re-exports identically");
         assert_eq!(b, jsonl, "WTRCAT reimport re-exports identically");
+    }
+
+    #[test]
+    fn catalog_stream_yields_same_rows_and_table_as_materialized() {
+        use wtr_sim::stream::RecordStream;
+        let cat = sample_catalog();
+        let mut jsonl = Vec::new();
+        write_catalog(&mut jsonl, &cat).unwrap();
+        let mut bin = Vec::new();
+        write_catalog_bin(&mut bin, &cat).unwrap();
+        for bytes in [&jsonl, &bin] {
+            let materialized = read_catalog_auto(&bytes[..]).unwrap();
+            let mut stream = CatalogStream::new(&bytes[..]).unwrap();
+            assert_eq!(stream.window_days(), 22);
+            assert_eq!(stream.declared_rows(), cat.len() as u64);
+            let mut rows = Vec::new();
+            while let Some(chunk) = stream.next_chunk().unwrap() {
+                rows.extend(chunk);
+            }
+            let table = stream.finish().unwrap();
+            assert_eq!(&table, materialized.apn_table());
+            let want: Vec<&CatalogEntry> = materialized.iter().collect();
+            assert_eq!(rows.len(), want.len());
+            for (got, want) in rows.iter().zip(want) {
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_stream_rejects_row_count_mismatch_and_trailer() {
+        use wtr_sim::stream::RecordStream;
+        let cat = sample_catalog();
+        let mut jsonl = Vec::new();
+        write_catalog(&mut jsonl, &cat).unwrap();
+        // Drop the final row: declared count no longer matches.
+        let text = String::from_utf8(jsonl).unwrap();
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let mut stream = CatalogStream::new(truncated.as_bytes()).unwrap();
+        while stream.next_chunk().unwrap().is_some() {}
+        assert!(matches!(stream.finish(), Err(IoError::BadHeader(_))));
+        // WTRCAT trailing garbage is rejected.
+        let mut bin = Vec::new();
+        write_catalog_bin(&mut bin, &cat).unwrap();
+        bin.push(0);
+        let mut stream = CatalogStream::new(&bin[..]).unwrap();
+        let result = loop {
+            let step = stream.next_chunk();
+            match &step {
+                Ok(Some(_)) => continue,
+                _ => break step,
+            }
+        };
+        assert!(result.is_err(), "trailing byte after final chunk detected");
     }
 
     #[test]

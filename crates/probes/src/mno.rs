@@ -25,6 +25,7 @@ use wtr_model::roaming::{Presence, RoamingLabel};
 use wtr_model::time::Day;
 use wtr_radio::network::RadioNetwork;
 use wtr_sim::events::{SimEvent, VoiceKind};
+use wtr_sim::stream::{drive_slice, ChunkFold};
 use wtr_sim::world::EventSink;
 
 /// Per-day load on the monitored core-network elements (Fig. 4): the
@@ -58,6 +59,19 @@ impl ElementLoad {
 }
 
 /// The studied MNO's passive measurement pipeline.
+///
+/// # Memory contract
+///
+/// The probe is a bounded-memory [`ChunkFold`] sink over the event
+/// stream: its steady state is **O(devices × active days)** — the
+/// devices-catalog rows plus one [`ElementLoad`] per window day — and
+/// never O(events). Events fold into catalog rows on arrival and are
+/// dropped. The only opt-out is [`MnoProbe::retain_raw`], which keeps
+/// the per-event `raw_radio` / `raw_cdrs` / `raw_xdrs` vectors growing
+/// without bound; it exists for tests and small exploratory runs only
+/// and **must stay off on every production / scenario path** (the
+/// default constructor leaves it off, and nothing in `wtr-scenarios`
+/// or the CLI enables it).
 #[derive(Debug, Clone)]
 pub struct MnoProbe {
     studied: Plmn,
@@ -67,11 +81,14 @@ pub struct MnoProbe {
     key: AnonKey,
     /// The daily devices-catalog built so far.
     pub catalog: DevicesCatalog,
-    /// Raw records, kept only when `retain_raw` is set.
+    /// Raw radio records. **Empty unless [`MnoProbe::retain_raw`] was
+    /// called** — the default path drops raw records after folding them
+    /// into the catalog, keeping the probe's memory independent of the
+    /// event count (see the struct-level memory contract).
     pub raw_radio: Vec<RadioEventRecord>,
-    /// Raw CDRs (see `raw_radio`).
+    /// Raw CDRs (see `raw_radio`; empty unless raw retention is on).
     pub raw_cdrs: Vec<Cdr>,
-    /// Raw xDRs (see `raw_radio`).
+    /// Raw xDRs (see `raw_radio`; empty unless raw retention is on).
     pub raw_xdrs: Vec<Xdr>,
     retain_raw: bool,
     designated_ranges: Vec<ImsiRange>,
@@ -112,9 +129,20 @@ impl MnoProbe {
     }
 
     /// Keeps raw record vectors in memory (tests / small runs only).
+    ///
+    /// This opts out of the probe's bounded-memory contract: with raw
+    /// retention on, memory grows **O(events)** instead of
+    /// O(devices × days). Never enable it on a scenario- or
+    /// production-scale path.
     pub fn retain_raw(mut self) -> Self {
         self.retain_raw = true;
         self
+    }
+
+    /// Whether raw record retention is enabled (see
+    /// [`MnoProbe::retain_raw`]).
+    pub fn retains_raw(&self) -> bool {
+        self.retain_raw
     }
 
     /// Registers an operator-designated IMSI range (e.g. the SMIP smart-
@@ -217,29 +245,48 @@ impl MnoProbe {
     }
 
     /// Ingests a batch of events, sharding the work over worker threads
-    /// (`wtr_sim::par`) while producing output byte-identical to feeding
-    /// each event through [`EventSink::on_event`] serially.
+    /// (`wtr_sim::par`). Output is byte-identical at any thread count
+    /// (chunk boundaries depend only on `events.len()`).
     ///
     /// Events must be in stream order (the order a serial run would see
     /// them); consecutive chunks are folded into chunk-local probes and
     /// merged left-to-right, so first-touch row identity — the label a
     /// (device, day) row keeps — is decided by the earliest event exactly
-    /// as in the serial path.
+    /// as in the serial path, and every integer counter, set and APN
+    /// symbol matches a serial [`EventSink::on_event`] replay. The one
+    /// caveat: per-row *mobility* accumulators are f64 sums, and chunked
+    /// merging regroups those additions, so their low bits may differ
+    /// from the serial replay (still deterministic for a given batch).
+    /// Paths that must be bit-identical to the serial push model — the
+    /// scenario runners via [`wtr_sim::stream::EventBatcher`] — fold
+    /// batches serially instead.
     pub fn ingest_batch(&mut self, events: &[SimEvent]) {
-        if events.is_empty() {
-            return;
+        drive_slice(self, events);
+    }
+}
+
+/// The probe as a streaming sink: chunk-local probes fold event chunks
+/// independently and merge left-to-right — `zero` is an empty probe
+/// with the same configuration, `absorb` is the catalog/counter merge
+/// (first-touch row identity preserved, APN symbols remapped). This is
+/// what [`wtr_sim::stream::EventBatcher`] wraps to turn the engine's
+/// push-model event loop into a bounded-memory batched ingest (the
+/// batcher folds each batch serially, keeping mobility f64 sums
+/// bit-identical to the push model; see [`MnoProbe::ingest_batch`] for
+/// the chunk-parallel variant and its f64 caveat).
+impl ChunkFold<SimEvent> for MnoProbe {
+    fn zero(&self) -> Self {
+        self.fork_empty()
+    }
+
+    fn fold_chunk(&mut self, chunk: &[SimEvent]) {
+        for e in chunk {
+            self.on_event(e);
         }
-        let template = self.fork_empty();
-        let partials = wtr_sim::par::chunked_map(events, |chunk| {
-            let mut p = template.fork_empty();
-            for e in chunk {
-                p.on_event(e);
-            }
-            p
-        });
-        for p in partials {
-            self.absorb(p);
-        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        MnoProbe::absorb(self, later);
     }
 }
 

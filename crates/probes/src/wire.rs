@@ -15,7 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeSet;
 use wtr_model::error::ParseError;
 use wtr_model::ids::{Mcc, Mnc, Plmn, Tac};
-use wtr_model::intern::ApnSym;
+use wtr_model::intern::{ApnSym, ApnTable};
 use wtr_model::rat::{RadioFlags, RatSet};
 use wtr_model::roaming::RoamingLabel;
 use wtr_model::time::{Day, SimTime};
@@ -482,37 +482,52 @@ fn get_u32_le(buf: &mut &[u8], what: &'static str) -> Result<u32, ParseError> {
     ))
 }
 
-/// Decodes a `WTRCAT` catalog produced by [`encode_catalog`].
-///
-/// Row-group chunks are independent byte ranges, so they are decoded on
-/// [`wtr_sim::par`] workers and reassembled in file order: the resulting
-/// catalog — including its APN symbol assignment, which comes from the
-/// file's canonical table — is identical at any worker count.
-pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
-    let mut buf = bytes;
-    let magic = take(&mut buf, CAT_MAGIC.len(), "catalog header")?;
+/// The fixed part of a `WTRCAT` file: everything before the row-group
+/// chunks. Produced by [`decode_catalog_header`]; the chunk bodies that
+/// follow decode independently via [`decode_chunk_rows`], which is what
+/// lets the streaming reader hold one chunk at a time instead of the
+/// whole catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogHeaderBin {
+    /// Length of the observation window in days.
+    pub window_days: u32,
+    /// Total row count declared by the header (validated against the
+    /// sum of chunk row counts by whoever consumes the chunks).
+    pub rows: u64,
+    /// Number of row-group chunks that follow the header.
+    pub chunks: u32,
+    /// The canonical (strictly ascending) APN table; row symbols in the
+    /// chunk bodies resolve against it.
+    pub table: ApnTable,
+}
+
+/// Parses the `WTRCAT` magic, fixed header fields and canonical APN
+/// table from the front of `buf`, advancing `buf` past them (to the
+/// first chunk frame).
+pub fn decode_catalog_header(buf: &mut &[u8]) -> Result<CatalogHeaderBin, ParseError> {
+    let magic = take(buf, CAT_MAGIC.len(), "catalog header")?;
     if magic != CAT_MAGIC {
         return Err(ParseError::BadApn {
             reason: "bad WTRCAT magic",
         });
     }
-    let window_days = get_u32_le(&mut buf, "window_days")?;
-    let row_count = u64::from_le_bytes(
-        take(&mut buf, 8, "row count")?
+    let window_days = get_u32_le(buf, "window_days")?;
+    let rows = u64::from_le_bytes(
+        take(buf, 8, "row count")?
             .try_into()
             .expect("length checked"),
     );
-    let chunk_count = get_u32_le(&mut buf, "chunk count")? as usize;
-    let table_len = get_u32_le(&mut buf, "APN table length")? as usize;
-    let mut catalog = DevicesCatalog::new(window_days);
+    let chunks = get_u32_le(buf, "chunk count")?;
+    let table_len = get_u32_le(buf, "APN table length")? as usize;
+    let mut table = ApnTable::new();
     let mut prev: Option<&str> = None;
     for _ in 0..table_len {
         let len = u16::from_le_bytes(
-            take(&mut buf, 2, "APN string length")?
+            take(buf, 2, "APN string length")?
                 .try_into()
                 .expect("length checked"),
         ) as usize;
-        let raw = take(&mut buf, len, "APN string bytes")?;
+        let raw = take(buf, len, "APN string bytes")?;
         let s = std::str::from_utf8(raw).map_err(|_| ParseError::BadApn {
             reason: "APN table entry is not UTF-8",
         })?;
@@ -521,16 +536,67 @@ pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
                 reason: "APN table not strictly ascending",
             });
         }
-        catalog.intern_apn(s);
+        table.intern(s);
         prev = Some(s);
+    }
+    Ok(CatalogHeaderBin {
+        window_days,
+        rows,
+        chunks,
+        table,
+    })
+}
+
+/// Parses one chunk frame (`byte_len u32 LE | row_count u32 LE`) from
+/// the front of `buf`, returning the chunk body slice and its declared
+/// row count and advancing `buf` past the frame.
+pub fn decode_chunk_frame<'a>(buf: &mut &'a [u8]) -> Result<(&'a [u8], usize), ParseError> {
+    let byte_len = get_u32_le(buf, "chunk byte length")? as usize;
+    let rows = get_u32_le(buf, "chunk row count")? as usize;
+    Ok((take(buf, byte_len, "chunk body")?, rows))
+}
+
+/// Decodes one row-group chunk body into its rows (in file order).
+/// `table_len` bounds the valid APN symbol range; symbols resolve
+/// against the header's canonical table.
+pub fn decode_chunk_rows(
+    mut body: &[u8],
+    rows: usize,
+    table_len: usize,
+) -> Result<Vec<CatalogEntry>, ParseError> {
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        out.push(decode_row(&mut body, table_len)?);
+    }
+    if !body.is_empty() {
+        return Err(ParseError::BadLength {
+            what: "chunk body",
+            expected: "no bytes after the final row",
+            found: body.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Decodes a `WTRCAT` catalog produced by [`encode_catalog`].
+///
+/// Row-group chunks are independent byte ranges, so they are decoded on
+/// [`wtr_sim::par`] workers and reassembled in file order: the resulting
+/// catalog — including its APN symbol assignment, which comes from the
+/// file's canonical table — is identical at any worker count.
+pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
+    let mut buf = bytes;
+    let header = decode_catalog_header(&mut buf)?;
+    let table_len = header.table.len();
+    let mut catalog = DevicesCatalog::new(header.window_days);
+    for s in header.table.strings() {
+        catalog.intern_apn(s);
     }
     // Slice out the chunks serially (cheap length-prefix walk), then decode
     // the row bytes in parallel.
-    let mut chunks: Vec<(&[u8], usize)> = Vec::with_capacity(chunk_count);
-    for _ in 0..chunk_count {
-        let byte_len = get_u32_le(&mut buf, "chunk byte length")? as usize;
-        let rows = get_u32_le(&mut buf, "chunk row count")? as usize;
-        chunks.push((take(&mut buf, byte_len, "chunk body")?, rows));
+    let mut chunks: Vec<(&[u8], usize)> = Vec::with_capacity(header.chunks as usize);
+    for _ in 0..header.chunks {
+        chunks.push(decode_chunk_frame(&mut buf)?);
     }
     if !buf.is_empty() {
         return Err(ParseError::BadLength {
@@ -540,19 +606,8 @@ pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
         });
     }
     let decoded: Vec<Result<Vec<CatalogEntry>, ParseError>> =
-        wtr_sim::par::par_map(&chunks, |&(mut body, rows)| {
-            let mut out = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                out.push(decode_row(&mut body, table_len)?);
-            }
-            if !body.is_empty() {
-                return Err(ParseError::BadLength {
-                    what: "chunk body",
-                    expected: "no bytes after the final row",
-                    found: body.len(),
-                });
-            }
-            Ok(out)
+        wtr_sim::par::par_map(&chunks, |&(body, rows)| {
+            decode_chunk_rows(body, rows, table_len)
         });
     let mut total = 0u64;
     for chunk in decoded {
@@ -561,7 +616,7 @@ pub fn decode_catalog(bytes: &[u8]) -> Result<DevicesCatalog, ParseError> {
             catalog.insert_entry(row);
         }
     }
-    if total != row_count {
+    if total != header.rows {
         return Err(ParseError::BadLength {
             what: "catalog body",
             expected: "header row count",

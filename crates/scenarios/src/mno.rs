@@ -49,8 +49,9 @@ use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
 use wtr_sim::engine::Engine;
 use wtr_sim::mobility::MobilityModel;
 use wtr_sim::rng::SubstreamRng;
+use wtr_sim::stream::EventBatcher;
 use wtr_sim::traffic::TrafficProfile;
-use wtr_sim::world::RoamingWorld;
+use wtr_sim::world::{EventSink, RoamingWorld};
 
 /// The studied MNO's dedicated SMIP IMSI block (§4.4).
 pub const SMIP_MSIN_BASE: u64 = 7_000_000_000;
@@ -140,6 +141,32 @@ impl MnoScenario {
 
     /// Builds, simulates and collects the catalog.
     pub fn run(&self) -> MnoScenarioOutput {
+        self.run_with(|probe| probe, |probe| probe)
+    }
+
+    /// Streaming variant of [`run`](MnoScenario::run): the probe sits
+    /// behind a [`wtr_sim::stream::EventBatcher`], so the engine's event
+    /// loop feeds it whole chunks through the [`wtr_sim::ChunkFold`]
+    /// interface instead of one `on_event` call per record.
+    ///
+    /// The batcher folds each batch *serially*, reproducing the push
+    /// model's exact arithmetic sequence — the resulting catalog is
+    /// byte-identical to [`run`](MnoScenario::run)'s at any thread count
+    /// (the equivalence suite asserts it), while peak memory stays
+    /// O(batch + probe state).
+    pub fn run_streaming(&self) -> MnoScenarioOutput {
+        self.run_with(EventBatcher::new, EventBatcher::finish)
+    }
+
+    /// Shared body of [`run`](MnoScenario::run) /
+    /// [`run_streaming`](MnoScenario::run_streaming): `wrap` adapts the
+    /// probe into the engine's event sink, `unwrap` recovers it (flushing
+    /// any buffered records) after the simulation completes.
+    fn run_with<S: EventSink>(
+        &self,
+        wrap: impl FnOnce(MnoProbe) -> S,
+        unwrap: impl FnOnce(S) -> MnoProbe,
+    ) -> MnoScenarioOutput {
         let cfg = &self.config;
         let faults = CoverageFaults {
             hole_fraction_g2: 0.0,
@@ -194,7 +221,9 @@ impl MnoScenario {
         }
         // Probe records can be lossy (fault injection): wrap the probe in
         // a LossySink so a configured fraction never reaches aggregation.
-        let lossy = LossySink::new(probe, cfg.record_loss_fraction, cfg.seed);
+        // The loss layer sits *outside* the batcher, so the deterministic
+        // per-event coin sequence is identical on both run paths.
+        let lossy = LossySink::new(wrap(probe), cfg.record_loss_fraction, cfg.seed);
         let world = RoamingWorld::new(
             universe.directory,
             Box::new(universe.policy),
@@ -208,7 +237,7 @@ impl MnoScenario {
             engine.add_agent(DeviceAgent::new(spec, cfg.seed));
         }
         let world = engine.run();
-        let probe = world.sink.into_inner();
+        let probe = unwrap(world.sink.into_inner());
         let record_counts = (
             probe.radio_event_count(),
             probe.cdr_count(),

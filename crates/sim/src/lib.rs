@@ -28,6 +28,9 @@
 //! * [`world`] — the shared environment: radio networks per operator,
 //!   roaming access policy, event sink.
 //! * [`device`] — the device agent tying it all together.
+//! * [`par`] — deterministic order-stable parallel map-reduce.
+//! * [`stream`] — chunked record streams and mergeable chunk-fold
+//!   sinks: the bounded-memory single-pass pipeline core.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod events;
 pub mod mobility;
 pub mod par;
 pub mod rng;
+pub mod stream;
 pub mod traffic;
 pub mod world;
 
@@ -49,5 +53,6 @@ pub use events::{
 pub use mobility::MobilityModel;
 pub use par::{par_map, par_map_reduce};
 pub use rng::SubstreamRng;
+pub use stream::{ChunkFold, EventBatcher, RecordStream};
 pub use traffic::TrafficProfile;
 pub use world::{AccessDecision, AccessPolicy, AllowAllPolicy, NetworkDirectory, RoamingWorld};

@@ -125,6 +125,51 @@ where
     out
 }
 
+/// Maps every item through `f` with **one work unit per item**,
+/// preserving input order in the output.
+///
+/// Unlike [`par_map`], which shards at [`chunk_size`] granularity (and
+/// therefore runs serially for fewer than `MIN_CHUNK` items), this
+/// spreads the items themselves across workers in contiguous index
+/// ranges. It exists for the streaming drivers in [`crate::stream`],
+/// where each "item" is already a whole chunk of records and the
+/// per-item cost is large enough to dwarf dispatch overhead.
+///
+/// Output order is the input order regardless of worker count: workers
+/// return `(first_index, results)` pairs that are sorted back before
+/// concatenation.
+pub fn par_each<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let per = items.len().div_ceil(workers);
+    let f = &f;
+    let mut indexed: Vec<(usize, Vec<U>)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * per;
+            let hi = ((w + 1) * per).min(items.len());
+            if lo >= hi {
+                break;
+            }
+            let slice = &items[lo..hi];
+            handles.push(scope.spawn(move || (lo, slice.iter().map(f).collect::<Vec<U>>())));
+        }
+        for h in handles {
+            indexed.push(h.join().expect("wtr-sim::par worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().flat_map(|(_, v)| v).collect()
+}
+
 /// Applies `f` to each fixed-size chunk of `items`, returning the
 /// per-chunk results in chunk-index order.
 ///
@@ -253,6 +298,26 @@ mod tests {
         assert!(par_map(&empty, |x| *x).is_empty());
         let one = [9u8];
         assert_eq!(par_map(&one, |x| *x + 1), vec![10]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn each_preserves_order_across_thread_counts() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..37).collect();
+        let mut outputs = Vec::new();
+        for t in [1usize, 2, 8, 64] {
+            set_threads(Some(t));
+            outputs.push(par_each(&items, |x| x * 2));
+        }
+        set_threads(None);
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+        assert_eq!(outputs[0][5], 10);
+        let empty: Vec<u64> = Vec::new();
+        set_threads(Some(4));
+        assert!(par_each(&empty, |x| *x).is_empty());
         set_threads(None);
     }
 

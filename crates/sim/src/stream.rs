@@ -1,0 +1,522 @@
+//! Streaming single-pass pipeline core: chunked record streams and
+//! mergeable chunk-fold sinks.
+//!
+//! At paper scale (~39.6M devices over 22 days, §4) no stage of the
+//! pipeline may materialize "all the events" or walk the same data six
+//! times. This module provides the two abstractions every stage is built
+//! on instead:
+//!
+//! * [`RecordStream`] — a deterministic, *chunked* producer of records:
+//!   the sim engine's event loop (via [`EventBatcher`]), the JSONL
+//!   catalog reader, and the chunk-at-a-time `WTRCAT` reader all present
+//!   their output as a sequence of owned chunks, never as one giant
+//!   `Vec`.
+//! * [`ChunkFold`] — a sink that folds chunks into bounded state and can
+//!   merge ("absorb") a sink built from a *later* part of the same
+//!   stream, mirroring the intern table's `absorb` discipline. The
+//!   catalog builder, device-summary accumulation, the classifier's
+//!   observed-APN pass and every analysis table implement it.
+//!
+//! The drivers ([`drive`], [`drive_slice`], [`drive_iter`]) connect the
+//! two, and a *broadcast* composition (tuples of sinks, or `Vec<F>`)
+//! lets one pass over the stream feed many sinks simultaneously — the
+//! 6+ re-scans of the materialized pipeline collapse into one pass with
+//! O(state + chunk) peak memory.
+//!
+//! # Determinism
+//!
+//! Byte-identical output at any thread count falls out of three rules,
+//! the same ones [`crate::par`] established:
+//!
+//! 1. **Chunk boundaries are a pure function of stream content** (record
+//!    positions and counts), never of the thread count.
+//! 2. Each chunk folds into a fresh [`ChunkFold::zero`] accumulator;
+//!    partials are **absorbed left-to-right in chunk order**, so
+//!    "first-touch wins" semantics survive parallel execution.
+//! 3. Sinks whose merge involves floating-point accumulation are driven
+//!    with the *same* chunk boundaries on every path (see
+//!    [`crate::par::chunk_size`]), so the exact sequence of arithmetic
+//!    — and therefore every rounding decision — is reproduced.
+//!
+//! The window of chunks in flight ([`drive`] folds up to
+//! [`crate::par::threads`] chunks concurrently) affects only *when*
+//! partials are computed, never the fold boundaries or the absorb
+//! order.
+
+use crate::events::SimEvent;
+use crate::par;
+use crate::world::EventSink;
+
+/// Records per chunk for iterator-backed streaming ([`drive_iter`])
+/// when the caller does not pin a chunk size.
+pub const STREAM_CHUNK: usize = 4096;
+
+/// Default number of buffered simulation events per [`EventBatcher`]
+/// flush.
+pub const EVENT_BATCH: usize = 8192;
+
+/// A sink that folds chunks of `T` records into bounded accumulator
+/// state and can merge with a sink covering a later part of the stream.
+///
+/// The three methods mirror the intern table's chunk-merge discipline
+/// (`ApnTable::absorb`):
+///
+/// * [`zero`](ChunkFold::zero) — a fresh accumulator with the same
+///   *configuration* as `self` but no accumulated state (the
+///   prototype pattern: config-bearing sinks copy their references).
+/// * [`fold_chunk`](ChunkFold::fold_chunk) — folds one chunk of
+///   records, in order, into `self`.
+/// * [`absorb`](ChunkFold::absorb) — merges a sink built from a
+///   **strictly later** slice of the same stream into `self`. Because
+///   the drivers always absorb left-to-right in chunk order, an
+///   implementation may rely on `self` holding the earlier records
+///   ("first wins" is safe); it need not be commutative.
+///
+/// # Contract
+///
+/// For the drivers to be thread-count invariant, folding the
+/// concatenation of two chunks must equal folding them into separate
+/// zeros and absorbing: `fold(a ++ b) == fold(a).absorb(fold(b))`.
+/// Integer counters, set unions, map-entry merges and "left wins"
+/// identities satisfy this exactly; floating-point accumulators satisfy
+/// it up to rounding, which the pipeline neutralizes by pinning chunk
+/// boundaries (rule 3 of the module docs).
+pub trait ChunkFold<T>: Send + Sized {
+    /// A fresh accumulator with `self`'s configuration and no state.
+    fn zero(&self) -> Self;
+    /// Folds one chunk of records (in stream order) into `self`.
+    fn fold_chunk(&mut self, chunk: &[T]);
+    /// Merges a sink built from a later slice of the stream into
+    /// `self`.
+    fn absorb(&mut self, later: Self);
+}
+
+macro_rules! tuple_chunk_fold {
+    ($($name:ident : $idx:tt),+) => {
+        impl<T, $($name: ChunkFold<T>),+> ChunkFold<T> for ($($name,)+) {
+            fn zero(&self) -> Self {
+                ($(self.$idx.zero(),)+)
+            }
+            fn fold_chunk(&mut self, chunk: &[T]) {
+                $(self.$idx.fold_chunk(chunk);)+
+            }
+            fn absorb(&mut self, later: Self) {
+                $(self.$idx.absorb(later.$idx);)+
+            }
+        }
+    };
+}
+
+tuple_chunk_fold!(A: 0, B: 1);
+tuple_chunk_fold!(A: 0, B: 1, C: 2);
+tuple_chunk_fold!(A: 0, B: 1, C: 2, D: 3);
+tuple_chunk_fold!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Broadcast over a homogeneous sink list: one pass feeds every element.
+/// Combine with the tuple impls (tuples nest) to feed arbitrarily many
+/// heterogeneous sinks in a single pass.
+impl<T, F: ChunkFold<T>> ChunkFold<T> for Vec<F> {
+    fn zero(&self) -> Self {
+        self.iter().map(F::zero).collect()
+    }
+
+    fn fold_chunk(&mut self, chunk: &[T]) {
+        for f in self.iter_mut() {
+            f.fold_chunk(chunk);
+        }
+    }
+
+    fn absorb(&mut self, later: Self) {
+        assert_eq!(self.len(), later.len(), "broadcast absorb arity mismatch");
+        for (f, l) in self.iter_mut().zip(later) {
+            f.absorb(l);
+        }
+    }
+}
+
+/// A record counter — the simplest possible sink, mostly useful to ride
+/// along in a broadcast tuple ("how many records did this pass see?").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountFold(pub u64);
+
+impl<T> ChunkFold<T> for CountFold {
+    fn zero(&self) -> Self {
+        CountFold(0)
+    }
+
+    fn fold_chunk(&mut self, chunk: &[T]) {
+        self.0 += chunk.len() as u64;
+    }
+
+    fn absorb(&mut self, later: Self) {
+        self.0 += later.0;
+    }
+}
+
+/// A deterministic chunked producer of records.
+///
+/// `next_chunk` returns `Ok(Some(chunk))` until the stream is
+/// exhausted, then `Ok(None)`; streams must be fused (keep returning
+/// `None`) and should never return empty chunks (the drivers skip them
+/// defensively). Chunk boundaries must be a pure function of the stream
+/// *content* — never of the thread count — so that downstream folds are
+/// byte-identical at any parallelism.
+pub trait RecordStream {
+    /// The record type produced.
+    type Item: Send + Sync;
+    /// The error type surfaced by the producer (I/O, parse, …).
+    type Error;
+
+    /// Produces the next chunk of records, `None` at end of stream.
+    fn next_chunk(&mut self) -> Result<Option<Vec<Self::Item>>, Self::Error>;
+}
+
+/// Folds a window of chunks into `sink`: each chunk folds into a fresh
+/// zero on a [`par::par_each`] worker, partials absorb left-to-right.
+fn fold_window<T, F>(sink: &mut F, window: &[Vec<T>])
+where
+    T: Send + Sync,
+    F: ChunkFold<T> + Sync,
+{
+    let partials = par::par_each(window, |chunk| {
+        let mut z = sink.zero();
+        z.fold_chunk(chunk);
+        z
+    });
+    for p in partials {
+        sink.absorb(p);
+    }
+}
+
+/// Drives every record of `items` into `sink` with chunk-parallel
+/// folding, absorbing partials in chunk order.
+///
+/// Chunk boundaries come from [`par::chunk_size`] — a pure function of
+/// `items.len()` — so output is byte-identical at any thread count, and
+/// identical to any other path folding the same `n` records through
+/// [`par::chunk_size`]`(n)` boundaries.
+pub fn drive_slice<T, F>(sink: &mut F, items: &[T])
+where
+    T: Sync,
+    F: ChunkFold<T> + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let partials = par::chunked_map(items, |chunk| {
+        let mut z = sink.zero();
+        z.fold_chunk(chunk);
+        z
+    });
+    for p in partials {
+        sink.absorb(p);
+    }
+}
+
+/// Drives an iterator of owned records into `sink`, buffering
+/// `chunk_len` records at a time and folding up to [`par::threads`]
+/// chunks concurrently. Returns the number of records consumed.
+///
+/// Peak memory is O(`chunk_len` × worker window + sink state) — the
+/// iterator itself is never collected. `chunk_len` positions the fold
+/// boundaries; pass [`par::chunk_size`] of the (known) total to
+/// reproduce [`drive_slice`]'s boundaries exactly, or [`STREAM_CHUNK`]
+/// when the total is unknown.
+pub fn drive_iter_with<T, F, I>(sink: &mut F, chunk_len: usize, items: I) -> u64
+where
+    T: Send + Sync,
+    F: ChunkFold<T> + Sync,
+    I: IntoIterator<Item = T>,
+{
+    let chunk_len = chunk_len.max(1);
+    let mut it = items.into_iter();
+    let mut seen = 0u64;
+    loop {
+        let window_target = par::threads().max(1);
+        let mut window: Vec<Vec<T>> = Vec::with_capacity(window_target);
+        for _ in 0..window_target {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            seen += chunk.len() as u64;
+            window.push(chunk);
+        }
+        if window.is_empty() {
+            return seen;
+        }
+        fold_window(sink, &window);
+    }
+}
+
+/// [`drive_iter_with`] at the default [`STREAM_CHUNK`] boundary.
+pub fn drive_iter<T, F, I>(sink: &mut F, items: I) -> u64
+where
+    T: Send + Sync,
+    F: ChunkFold<T> + Sync,
+    I: IntoIterator<Item = T>,
+{
+    drive_iter_with(sink, STREAM_CHUNK, items)
+}
+
+/// Pulls `stream` to exhaustion, folding its chunks into `sink` with up
+/// to [`par::threads`] chunks in flight. Returns the number of records
+/// consumed, or the stream's error.
+///
+/// The window size affects only which chunks fold concurrently; fold
+/// boundaries (the stream's chunking) and the absorb order (stream
+/// order) are independent of it, so output is byte-identical at any
+/// thread count.
+pub fn drive<S, F>(stream: &mut S, sink: &mut F) -> Result<u64, S::Error>
+where
+    S: RecordStream,
+    F: ChunkFold<S::Item> + Sync,
+{
+    let mut seen = 0u64;
+    let mut done = false;
+    while !done {
+        let window_target = par::threads().max(1);
+        let mut window: Vec<Vec<S::Item>> = Vec::with_capacity(window_target);
+        while window.len() < window_target {
+            match stream.next_chunk()? {
+                None => {
+                    done = true;
+                    break;
+                }
+                Some(chunk) => {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    seen += chunk.len() as u64;
+                    window.push(chunk);
+                }
+            }
+        }
+        if !window.is_empty() {
+            fold_window(sink, &window);
+        }
+    }
+    Ok(seen)
+}
+
+/// An [`EventSink`] adapter that buffers simulation events and flushes
+/// them into a [`ChunkFold`] sink one batch at a time — the bridge
+/// between the engine's push-model event loop and the streaming
+/// pipeline.
+///
+/// Each flush folds the whole batch with a single
+/// [`ChunkFold::fold_chunk`] call, preserving the *exact* serial fold
+/// sequence: event-level folds are order-sensitive where they
+/// accumulate floating-point state (e.g. per-device-day position
+/// sums), so regrouping them would perturb low bits. Pinning the
+/// serial sequence makes a batched scenario run bit-identical to the
+/// plain push-model run; chunk-parallelism enters downstream, at the
+/// catalog-row and summary stages, where fold boundaries are pinned by
+/// [`par::chunk_size`]. Peak memory is O(`batch` + sink state); the
+/// event log itself is never materialized.
+#[derive(Debug)]
+pub struct EventBatcher<F: ChunkFold<SimEvent>> {
+    sink: F,
+    buf: Vec<SimEvent>,
+    batch: usize,
+    seen: u64,
+}
+
+impl<F: ChunkFold<SimEvent>> EventBatcher<F> {
+    /// Wraps `sink` with the default [`EVENT_BATCH`] buffer.
+    pub fn new(sink: F) -> Self {
+        EventBatcher::with_batch(sink, EVENT_BATCH)
+    }
+
+    /// Wraps `sink`, flushing every `batch` events (clamped to ≥ 1).
+    pub fn with_batch(sink: F, batch: usize) -> Self {
+        let batch = batch.max(1);
+        EventBatcher {
+            sink,
+            buf: Vec::with_capacity(batch),
+            batch,
+            seen: 0,
+        }
+    }
+
+    /// Events accepted so far (flushed or still buffered).
+    pub fn events_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Read access to the wrapped sink. Note that up to one batch of
+    /// events may still be buffered; call [`EventBatcher::finish`] for
+    /// the complete fold.
+    pub fn sink(&self) -> &F {
+        &self.sink
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        // One serial fold_chunk per batch: see the struct docs — the
+        // event fold must reproduce the exact push-model sequence.
+        self.sink.fold_chunk(&self.buf);
+        self.buf.clear();
+    }
+
+    /// Flushes any buffered events and returns the folded sink.
+    pub fn finish(mut self) -> F {
+        self.flush();
+        self.sink
+    }
+}
+
+impl<F: ChunkFold<SimEvent>> EventSink for EventBatcher<F> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.buf.push(event.clone());
+        self.seen += 1;
+        if self.buf.len() >= self.batch {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that mutate the global thread override (shared
+    /// with `par`'s process-global knob).
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A sink recording (sum, first item, item count) — exercises both
+    /// commutative (sum/count) and "first wins" (first item) merges.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Probe {
+        sum: u64,
+        first: Option<u64>,
+        count: u64,
+    }
+
+    impl Probe {
+        fn new() -> Self {
+            Probe {
+                sum: 0,
+                first: None,
+                count: 0,
+            }
+        }
+    }
+
+    impl ChunkFold<u64> for Probe {
+        fn zero(&self) -> Self {
+            Probe::new()
+        }
+
+        fn fold_chunk(&mut self, chunk: &[u64]) {
+            for &x in chunk {
+                self.sum += x;
+                self.first.get_or_insert(x);
+                self.count += 1;
+            }
+        }
+
+        fn absorb(&mut self, later: Self) {
+            self.sum += later.sum;
+            self.first = self.first.or(later.first);
+            self.count += later.count;
+        }
+    }
+
+    struct StaticStream {
+        chunks: Vec<Vec<u64>>,
+        next: usize,
+    }
+
+    impl RecordStream for StaticStream {
+        type Item = u64;
+        type Error = std::convert::Infallible;
+
+        fn next_chunk(&mut self) -> Result<Option<Vec<u64>>, Self::Error> {
+            let i = self.next;
+            self.next += 1;
+            Ok(self.chunks.get(i).cloned())
+        }
+    }
+
+    #[test]
+    fn drive_slice_matches_serial_fold_at_any_thread_count() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let items: Vec<u64> = (5..4000).collect();
+        let mut serial = Probe::new();
+        serial.fold_chunk(&items);
+        for t in [1usize, 2, 8] {
+            par::set_threads(Some(t));
+            let mut sink = Probe::new();
+            drive_slice(&mut sink, &items);
+            assert_eq!(sink, serial, "drive_slice at {t} threads");
+        }
+        par::set_threads(None);
+    }
+
+    #[test]
+    fn drive_iter_never_materializes_and_matches_slice() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let items: Vec<u64> = (0..10_000).collect();
+        let mut reference = Probe::new();
+        reference.fold_chunk(&items);
+        for t in [1usize, 2, 8] {
+            par::set_threads(Some(t));
+            let mut sink = Probe::new();
+            let n = drive_iter(&mut sink, items.iter().copied());
+            assert_eq!(n, items.len() as u64);
+            assert_eq!(sink, reference, "drive_iter at {t} threads");
+        }
+        par::set_threads(None);
+    }
+
+    #[test]
+    fn drive_stream_handles_uneven_and_empty_chunks() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let chunks = vec![
+            (0..100).collect::<Vec<u64>>(),
+            Vec::new(),
+            (100..101).collect(),
+            (101..900).collect(),
+        ];
+        let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+        let mut reference = Probe::new();
+        reference.fold_chunk(&all);
+        for t in [1usize, 2, 8] {
+            par::set_threads(Some(t));
+            let mut stream = StaticStream {
+                chunks: chunks.clone(),
+                next: 0,
+            };
+            let mut sink = Probe::new();
+            let n = drive(&mut stream, &mut sink).unwrap();
+            assert_eq!(n, all.len() as u64);
+            assert_eq!(sink, reference, "drive at {t} threads");
+            assert_eq!(sink.first, Some(0), "first-touch survives parallel fold");
+        }
+        par::set_threads(None);
+    }
+
+    #[test]
+    fn broadcast_tuple_and_vec_feed_all_sinks() {
+        let items: Vec<u64> = (1..=100).collect();
+        let mut sink = (Probe::new(), CountFold(0), vec![Probe::new(), Probe::new()]);
+        drive_slice(&mut sink, &items);
+        assert_eq!(sink.0.sum, 5050);
+        assert_eq!(sink.1, CountFold(100));
+        assert_eq!(sink.2[0], sink.2[1]);
+        assert_eq!(sink.2[0].sum, 5050);
+    }
+
+    #[test]
+    fn count_fold_counts() {
+        let mut c = CountFold::default();
+        c.fold_chunk(&[1u8, 2, 3]);
+        let mut later = <CountFold as ChunkFold<u8>>::zero(&c);
+        later.fold_chunk(&[4u8]);
+        <CountFold as ChunkFold<u8>>::absorb(&mut c, later);
+        assert_eq!(c.0, 4);
+    }
+}

@@ -1,0 +1,309 @@
+//! Streaming == materialized, byte for byte (the PR-3 contract).
+//!
+//! Three equivalences, each across the 1/2/8 thread matrix:
+//!
+//! 1. **Simulation**: `MnoScenario::run_streaming()` (probe behind a
+//!    batched event stream) produces the exact catalog `run()` does —
+//!    including under record loss, whose per-event coin sequence sits
+//!    outside the batcher.
+//! 2. **File ingest**: `stream_catalog` (chunk-at-a-time JSONL/WTRCAT
+//!    reader feeding a broadcast of folds, no `DevicesCatalog` ever
+//!    built) produces the exact summaries + label shares the
+//!    materialized `read → summarize → label_shares` path does.
+//! 3. **Analysis**: the one-broadcast-pass [`analyze`] suite equals the
+//!    per-table re-scan reference [`analyze_rescan`] on every table.
+//!
+//! Plus `ChunkFold::absorb` associativity checks (proptest): for any
+//! 3-way split of the input, folding the parts and absorbing equals
+//! folding the whole — the algebraic property the chunked drivers rely
+//! on.
+
+use proptest::prelude::*;
+use where_things_roam::core::analysis::diurnal::DiurnalFold;
+use where_things_roam::core::analysis::population::LabelSharesFold;
+use where_things_roam::core::analysis::revenue::{RateCard, RevenueFold};
+use where_things_roam::core::classify::{Classification, DeviceClass, ObservedApnsFold};
+use where_things_roam::core::stream::{
+    analyze, analyze_rescan, materialize_catalog, stream_catalog, AnalysisSuite, StreamedCatalog,
+};
+use where_things_roam::core::summary::{summarize, SummaryFold};
+use where_things_roam::model::ids::{Plmn, Tac};
+use where_things_roam::model::roaming::RoamingLabel;
+use where_things_roam::model::time::Day;
+use where_things_roam::probes::catalog::DevicesCatalog;
+use where_things_roam::probes::io;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
+use where_things_roam::sim::par;
+use where_things_roam::sim::stream::ChunkFold;
+
+/// Thread counts in the matrix (serial reference + uneven assignments).
+const MATRIX: [usize; 3] = [1, 2, 8];
+
+/// `par::set_threads` is process-global; serialize the tests that
+/// mutate it.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn scenario_config() -> MnoScenarioConfig {
+    MnoScenarioConfig {
+        devices: 400,
+        days: 5,
+        seed: 7,
+        nbiot_meter_fraction: 0.05,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    }
+}
+
+/// Serializes every table of a suite into one byte string.
+fn suite_bytes(suite: &AnalysisSuite) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut push = |s: String| bytes.extend(s.into_bytes());
+    push(serde_json::to_string(&suite.classification).unwrap());
+    push(serde_json::to_string(&suite.home).unwrap());
+    push(serde_json::to_string(&suite.class_label).unwrap());
+    push(serde_json::to_string(&suite.rat).unwrap());
+    push(serde_json::to_string(&suite.traffic).unwrap());
+    push(serde_json::to_string(&suite.active).unwrap());
+    push(serde_json::to_string(&suite.gyration).unwrap());
+    push(serde_json::to_string(&suite.smip).unwrap());
+    push(serde_json::to_string(&suite.smip_native).unwrap());
+    push(serde_json::to_string(&suite.smip_roaming).unwrap());
+    push(serde_json::to_string(&suite.verticals).unwrap());
+    push(serde_json::to_string(&suite.diurnal).unwrap());
+    push(serde_json::to_string(&suite.revenue).unwrap());
+    bytes
+}
+
+/// Serializes a [`StreamedCatalog`] into one byte string.
+fn data_bytes(data: &StreamedCatalog) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend(serde_json::to_string(&data.summaries).unwrap().into_bytes());
+    bytes.extend(
+        serde_json::to_string(&data.label_shares)
+            .unwrap()
+            .into_bytes(),
+    );
+    bytes.extend(data.apns.strings().join("\n").into_bytes());
+    bytes.extend(data.window_days.to_le_bytes());
+    bytes.extend(data.rows.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn streaming_simulation_matches_materialized() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for loss in [0.0, 0.07] {
+        let mut config = scenario_config();
+        config.record_loss_fraction = loss;
+        let mut reference: Option<Vec<u8>> = None;
+        for &t in &MATRIX {
+            par::set_threads(Some(t));
+            let direct = MnoScenario::new(config.clone()).run();
+            let streamed = MnoScenario::new(config.clone()).run_streaming();
+            let mut direct_bytes = Vec::new();
+            io::write_catalog(&mut direct_bytes, &direct.catalog).unwrap();
+            let mut streamed_bytes = Vec::new();
+            io::write_catalog(&mut streamed_bytes, &streamed.catalog).unwrap();
+            assert_eq!(
+                direct_bytes, streamed_bytes,
+                "run vs run_streaming at {t} threads, loss {loss}"
+            );
+            assert_eq!(direct.ground_truth, streamed.ground_truth);
+            match &reference {
+                None => reference = Some(streamed_bytes),
+                Some(r) => assert_eq!(r, &streamed_bytes, "{t} threads vs 1, loss {loss}"),
+            }
+        }
+    }
+    par::set_threads(None);
+}
+
+#[test]
+fn streamed_ingest_matches_materialized() {
+    let output = MnoScenario::new(scenario_config()).run();
+    let mut jsonl = Vec::new();
+    io::write_catalog(&mut jsonl, &output.catalog).unwrap();
+    let mut wtrcat = Vec::new();
+    io::write_catalog_bin(&mut wtrcat, &output.catalog).unwrap();
+
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    // Per format: the chunked stream must equal the materialized
+    // read-then-reduce path byte for byte, at every thread count.
+    // (Formats are compared within themselves — APN symbol numbering is
+    // reader-visible and differs between JSONL appearance order and the
+    // WTRCAT canonical table.)
+    for (what, file) in [("JSONL", &jsonl), ("WTRCAT", &wtrcat)] {
+        let mut reference: Option<Vec<u8>> = None;
+        for &t in &MATRIX {
+            par::set_threads(Some(t));
+            let materialized = data_bytes(&materialize_catalog(
+                &io::read_catalog_auto(file.as_slice()).unwrap(),
+            ));
+            let streamed = data_bytes(&stream_catalog(file.as_slice()).unwrap());
+            assert_eq!(materialized, streamed, "{what} stream at {t} threads");
+            match &reference {
+                None => reference = Some(streamed),
+                Some(r) => assert_eq!(r, &streamed, "{what} at {t} threads vs 1"),
+            }
+        }
+    }
+    par::set_threads(None);
+}
+
+#[test]
+fn broadcast_analysis_matches_rescans() {
+    let output = MnoScenario::new(scenario_config()).run();
+    let summaries = summarize(&output.catalog);
+    let apns = output.catalog.apn_table();
+    let days = output.catalog.window_days();
+
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut reference: Option<Vec<u8>> = None;
+    for &t in &MATRIX {
+        par::set_threads(Some(t));
+        let broadcast = suite_bytes(&analyze(&summaries, apns, days, &output.tacdb));
+        let rescans = suite_bytes(&analyze_rescan(&summaries, apns, days, &output.tacdb));
+        assert_eq!(broadcast, rescans, "broadcast vs rescans at {t} threads");
+        match &reference {
+            None => reference = Some(broadcast),
+            Some(r) => assert_eq!(r, &broadcast, "{t} threads vs 1"),
+        }
+    }
+    par::set_threads(None);
+}
+
+// ---------------------------------------------------------------------
+// ChunkFold associativity: fold(a ++ b ++ c) == fold(a) ⊕ fold(b) ⊕ fold(c)
+// ---------------------------------------------------------------------
+
+/// A small deterministic catalog parameterized by proptest input rows.
+fn build_catalog(rows: &[(u8, u8, u8, u16)]) -> DevicesCatalog {
+    let mut cat = DevicesCatalog::new(5);
+    let car = cat.intern_apn("fleet.scania.com.mnc002.mcc262.gprs");
+    let meter = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
+    let tac = Tac::new(35_000_000).unwrap();
+    for &(user, day, kind, events) in rows {
+        let (plmn, label) = match kind % 3 {
+            0 => (Plmn::of(204, 4), RoamingLabel::IH),
+            1 => (Plmn::of(234, 30), RoamingLabel::HH),
+            _ => (Plmn::of(262, 2), RoamingLabel::IH),
+        };
+        let r = cat.row_mut(u64::from(user), Day(u32::from(day % 5)), plmn, tac, label);
+        r.events += u64::from(events);
+        r.bytes_up += u64::from(events) * 100;
+        if kind % 3 == 0 {
+            r.apns.insert(meter);
+        } else if kind % 3 == 2 {
+            r.apns.insert(car);
+        }
+    }
+    cat
+}
+
+/// Tiny classification covering the generated users.
+fn toy_classification(users: impl Iterator<Item = u64>) -> Classification {
+    let mut c = Classification::default();
+    for u in users {
+        let class = match u % 3 {
+            0 => DeviceClass::M2m,
+            1 => DeviceClass::Smart,
+            _ => DeviceClass::Feat,
+        };
+        c.classes.insert(u, class);
+    }
+    c
+}
+
+/// Folds `items` whole vs. as three absorbed parts and asserts the
+/// serialized outputs match.
+fn assert_associative<T, F, O, Fin>(sink: &F, items: &[T], cut1: usize, cut2: usize, finish: Fin)
+where
+    F: ChunkFold<T>,
+    O: PartialEq + std::fmt::Debug,
+    Fin: Fn(F) -> O,
+{
+    let cut1 = cut1.min(items.len());
+    let cut2 = cut2.clamp(cut1, items.len());
+    let mut whole = sink.zero();
+    whole.fold_chunk(items);
+    let (mut a, mut b, mut c) = (sink.zero(), sink.zero(), sink.zero());
+    a.fold_chunk(&items[..cut1]);
+    b.fold_chunk(&items[cut1..cut2]);
+    c.fold_chunk(&items[cut2..]);
+    a.absorb(b);
+    a.absorb(c);
+    assert_eq!(finish(whole), finish(a));
+}
+
+proptest! {
+    #[test]
+    fn summary_fold_absorb_is_associative(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..80),
+        cuts in (0usize..2000, 0usize..2000),
+    ) {
+        let cat = build_catalog(&rows);
+        let entries: Vec<_> = cat.iter().collect();
+        let n = entries.len();
+        let (c1, c2) = (cuts.0 % (n + 1), cuts.1 % (n + 1));
+        let (c1, c2) = (c1.min(c2), c1.max(c2));
+        // SummaryFold requires canonical order, which any order-preserving
+        // split of the canonical iterator respects.
+        assert_associative(&SummaryFold::new(), &entries, c1, c2, |f| {
+            serde_json::to_string(&f.finish()).unwrap()
+        });
+    }
+
+    #[test]
+    fn label_shares_fold_absorb_is_associative(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..80),
+        cuts in (0usize..2000, 0usize..2000),
+    ) {
+        let cat = build_catalog(&rows);
+        let entries: Vec<_> = cat.iter().collect();
+        let n = entries.len();
+        let (c1, c2) = (cuts.0 % (n + 1), cuts.1 % (n + 1));
+        let (c1, c2) = (c1.min(c2), c1.max(c2));
+        assert_associative(&LabelSharesFold::new(5), &entries, c1, c2, |f| {
+            serde_json::to_string(&f.finish()).unwrap()
+        });
+    }
+
+    #[test]
+    fn summary_sinks_absorb_is_associative(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..80),
+        cuts in (0usize..2000, 0usize..2000),
+    ) {
+        let cat = build_catalog(&rows);
+        let summaries = summarize(&cat);
+        let classification = toy_classification(summaries.iter().map(|s| s.user));
+        let n = summaries.len();
+        let (c1, c2) = (cuts.0 % (n + 1), cuts.1 % (n + 1));
+        let (c1, c2) = (c1.min(c2), c1.max(c2));
+        // Three distinct per-summary sinks: boolean OR (observed APNs),
+        // integer histograms (diurnal), sample collection + sorted
+        // reduction (revenue).
+        assert_associative(
+            &ObservedApnsFold::new(cat.apn_table().len()),
+            &summaries,
+            c1,
+            c2,
+            |f| f.into_observed(),
+        );
+        let classes = [DeviceClass::M2m, DeviceClass::Smart, DeviceClass::Feat];
+        assert_associative(
+            &DiurnalFold::new(&classification, &classes),
+            &summaries,
+            c1,
+            c2,
+            |f| serde_json::to_string(&f.finish()).unwrap(),
+        );
+        assert_associative(
+            &RevenueFold::new(&classification, RateCard::default()),
+            &summaries,
+            c1,
+            c2,
+            |f| serde_json::to_string(&f.finish()).unwrap(),
+        );
+    }
+}
