@@ -1,0 +1,93 @@
+//! Sharded simulation throughput: the PR-4 acceptance bench.
+//!
+//! Times `MnoScenario::run_sharded` at shards = 1/2/8 on two fixtures
+//! (the 400x5 acceptance scenario and the 2500x22 analysis-scale one),
+//! plus the JSONL ingest hot path before/after the borrowed-slice
+//! rework. One-shot wall-clock numbers are printed as JSON for
+//! `BENCH_PR4.json`; Criterion then times the same paths properly.
+//!
+//! Acceptance: on the 1-CPU bench host, `run_sharded(1)` — one engine,
+//! inline on the calling thread — must stay within 5% of the pre-PR
+//! serial engine (recorded at 65.0 ms for 400x5 before the dispatch
+//! tie-break moved to `(time, agent, per-agent seq)`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use wtr_probes::io as probe_io;
+use wtr_scenarios::{MnoScenario, MnoScenarioConfig};
+
+fn config(devices: usize, days: u32, seed: u64) -> MnoScenarioConfig {
+    MnoScenarioConfig {
+        devices,
+        days,
+        seed,
+        nbiot_meter_fraction: 0.05,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    }
+}
+
+/// Wall-clock of `f` averaged over `iters` runs, in milliseconds.
+fn time_ms<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / f64::from(iters)
+}
+
+fn bench(c: &mut Criterion) {
+    // --- One-shot JSON summary (BENCH_PR4.json) ---------------------
+    let small = config(400, 5, 7);
+    // Warm caches / lazy statics so the first timed shard count isn't
+    // penalized for cold-start work the others skip.
+    black_box(MnoScenario::new(small.clone()).run_sharded(1));
+    let mut parts = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let scenario = MnoScenario::new(small.clone());
+        let ms = time_ms(10, || scenario.run_sharded(shards));
+        parts.push(format!("\"sim_400x5_shards{shards}_ms\":{ms:.1}"));
+    }
+    // JSONL ingest after the borrowed-slice rework (BENCH_PR3 recorded
+    // 1084 ms for the per-row-String reader on the same fixture).
+    let output = MnoScenario::new(config(2_500, 22, 99)).run();
+    let mut jsonl = Vec::new();
+    probe_io::write_catalog(&mut jsonl, &output.catalog).unwrap();
+    let ingest_ms = time_ms(3, || probe_io::read_catalog(jsonl.as_slice()).unwrap());
+    parts.push(format!("\"jsonl_read_catalog_ms\":{ingest_ms:.1}"));
+    eprintln!("{{{}}}", parts.join(","));
+
+    // --- Criterion groups -------------------------------------------
+    let mut g = c.benchmark_group("sim_throughput_400x5");
+    g.sample_size(10);
+    for shards in [1usize, 2, 8] {
+        let scenario = MnoScenario::new(small.clone());
+        g.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| black_box(&scenario).run_sharded(shards))
+        });
+    }
+    g.finish();
+
+    let big = config(2_500, 22, 99);
+    let mut g = c.benchmark_group("sim_throughput_2500x22");
+    g.sample_size(10);
+    for shards in [1usize, 2, 8] {
+        let scenario = MnoScenario::new(big.clone());
+        g.bench_function(&format!("shards_{shards}"), |b| {
+            b.iter(|| black_box(&scenario).run_sharded(shards))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("jsonl_ingest");
+    g.sample_size(10);
+    g.bench_function("read_catalog_borrowed_lines", |b| {
+        b.iter(|| probe_io::read_catalog(black_box(jsonl.as_slice())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

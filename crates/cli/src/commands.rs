@@ -64,6 +64,7 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
             "seed",
             "nbiot-meters",
             "record-loss",
+            "shards",
         ],
         &["sunset-2g", "transparency", "stream"],
     )?;
@@ -71,7 +72,7 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         println!(
             "wtr simulate-mno --out catalog.jsonl [--out-bin catalog.wtrcat] [--truth truth.jsonl] \
              [--devices N] [--days D] [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] \
-             [--record-loss F] [--stream]"
+             [--record-loss F] [--stream] [--shards K]"
         );
         return Ok(());
     }
@@ -91,12 +92,31 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
     );
     // `--stream` drives the probe through the batched event stream —
     // byte-identical catalog (test-enforced), bounded ingest buffers.
-    let scenario = MnoScenario::new(config);
-    let output = if args.flag("stream") {
-        scenario.run_streaming()
-    } else {
-        scenario.run()
+    // `--shards K` forces the shard count (default: the WTR_THREADS /
+    // available-parallelism worker knob); output is byte-identical at
+    // any K, so this is purely a performance/verification knob.
+    let shards = match args.get("shards") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|e| format!("--shards {s}: {e}"))?,
+        ),
+        None => None,
     };
+    let scenario = MnoScenario::new(config);
+    let output = match (args.flag("stream"), shards) {
+        (false, None) => scenario.run(),
+        (true, None) => scenario.run_streaming(),
+        (false, Some(k)) => scenario.run_sharded(k),
+        (true, Some(k)) => scenario.run_streaming_sharded(k),
+    };
+    let stats = output.engine_stats();
+    eprintln!(
+        "simulated on {} shard(s): {} agents, {} wake-ups dispatched, peak queue depth {}",
+        output.shard_stats.len(),
+        stats.agents,
+        stats.dispatched,
+        stats.peak_queue
+    );
     let mut out = open_out(out_path)?;
     probe_io::write_catalog(&mut out, &output.catalog).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;

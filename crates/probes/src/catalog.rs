@@ -365,6 +365,32 @@ impl DevicesCatalog {
         remap
     }
 
+    /// Rewrites the catalog into canonical APN-symbol form: the intern
+    /// table is sorted (symbol = sorted rank, see
+    /// [`ApnTable::canonicalized`]) and every row's symbol set is
+    /// remapped accordingly. After this, two catalogs with equal *content*
+    /// are equal as Rust values even if their tables were built in
+    /// different first-occurrence orders — which is exactly what sharded
+    /// simulation produces: each shard interns the APNs its own devices
+    /// use, in its own order, and the shard-merge concatenation order
+    /// differs from the serial interleaving. Serialized forms (JSONL,
+    /// WTRCAT) already canonicalize on write; this makes the in-memory
+    /// value canonical too.
+    ///
+    /// Returns the symbol remap (`remap[old.index()]` = new symbol) so
+    /// callers holding symbols outside the rows — e.g. retained raw
+    /// xDRs — can translate them.
+    pub fn canonicalize(&mut self) -> Vec<ApnSym> {
+        let (table, remap) = self.apns.canonicalized();
+        self.apns = table;
+        for entry in self.rows.values_mut() {
+            if !entry.apns.is_empty() {
+                entry.apns = entry.apns.iter().map(|s| remap[s.index()]).collect();
+            }
+        }
+        remap
+    }
+
     /// Number of distinct devices seen across the window.
     pub fn device_count(&self) -> usize {
         let mut users: Vec<u64> = self.rows.keys().map(|(u, _)| *u).collect();
@@ -534,6 +560,30 @@ mod tests {
         }
         // First-touch label survives the merge.
         assert_eq!(a.get(1, Day(0)).unwrap().label, RoamingLabel::HH);
+    }
+
+    #[test]
+    fn canonicalize_makes_intern_order_irrelevant() {
+        // Same content, opposite intern orders.
+        let build = |apns: &[&str]| {
+            let mut cat = DevicesCatalog::new(5);
+            let syms: Vec<ApnSym> = apns.iter().map(|a| cat.intern_apn(a)).collect();
+            let r = cat.row_mut(1, Day(0), plmn(), tac(), RoamingLabel::HH);
+            r.apns.extend(syms.iter().copied());
+            cat
+        };
+        let mut a = build(&["zeta.gprs", "alpha.gprs"]);
+        let mut b = build(&["alpha.gprs", "zeta.gprs"]);
+        assert_ne!(a.apn_table(), b.apn_table());
+        let remap_a = a.canonicalize();
+        b.canonicalize();
+        assert!(a.apn_table().is_canonical());
+        assert_eq!(a.apn_table(), b.apn_table());
+        let (ra, rb) = (a.get(1, Day(0)).unwrap(), b.get(1, Day(0)).unwrap());
+        assert_eq!(ra, rb);
+        // The remap translates old symbols to canonical ones.
+        assert_eq!(a.apn_str(remap_a[0]), "zeta.gprs");
+        assert_eq!(a.apn_str(remap_a[1]), "alpha.gprs");
     }
 
     #[test]

@@ -8,17 +8,32 @@
 //! of the test suite: the paper's statistics are shares and distributions,
 //! which degrade gracefully rather than break.
 
+use std::collections::HashMap;
 use wtr_model::hash::mix64;
 use wtr_sim::events::SimEvent;
 use wtr_sim::world::EventSink;
 
 /// An [`EventSink`] adapter that drops a deterministic pseudo-random
 /// fraction of events.
+///
+/// The drop coin for an event is a pure function of
+/// `(salt, device, per-device event sequence)` — **not** of the global
+/// arrival order. Events from one device always arrive in that device's
+/// own order (the engine dispatches each agent's wake-ups in per-agent
+/// sequence), so the per-device counter assigns the same coin to the
+/// same event no matter how events from *different* devices interleave:
+/// the dropped-record *set* is identical across shard counts, thread
+/// counts, and the `run` / `run_streaming` scenario paths. An earlier
+/// revision keyed the coin on a global `seen` counter, which baked the
+/// cross-device interleaving into every coin and could never be
+/// shard-stable.
 #[derive(Debug, Clone)]
 pub struct LossySink<S> {
     inner: S,
     drop_fraction: f64,
     salt: u64,
+    /// Per-device event counters: `device -> events seen so far`.
+    device_seq: HashMap<u64, u64>,
     seen: u64,
     dropped: u64,
 }
@@ -30,9 +45,18 @@ impl<S: EventSink> LossySink<S> {
             inner,
             drop_fraction: drop_fraction.clamp(0.0, 1.0),
             salt,
+            device_seq: HashMap::new(),
             seen: 0,
             dropped: 0,
         }
+    }
+
+    /// Merges the loss counters of another sink into this one (the
+    /// shard-merge path; shard sinks observe disjoint device
+    /// populations, so the counters are simply additive).
+    pub fn absorb_counters<T>(&mut self, other: &LossySink<T>) {
+        self.seen += other.seen;
+        self.dropped += other.dropped;
     }
 
     /// The wrapped sink.
@@ -59,11 +83,13 @@ impl<S: EventSink> LossySink<S> {
 impl<S: EventSink> EventSink for LossySink<S> {
     fn on_event(&mut self, event: &SimEvent) {
         self.seen += 1;
-        // Deterministic per-event coin: device, time and arrival order all
-        // feed the hash so repeated timestamps from one device don't share
-        // fate.
-        let h =
-            mix64(event.device() ^ mix64(event.time().as_secs()) ^ mix64(self.salt ^ self.seen));
+        let seq = self.device_seq.entry(event.device()).or_insert(0);
+        *seq += 1;
+        // Deterministic per-event coin keyed on (salt, device, per-device
+        // sequence): repeated timestamps from one device don't share fate,
+        // and the coin never depends on how other devices interleave —
+        // the loss set is shard-count-invariant.
+        let h = mix64(mix64(self.salt ^ event.device()) ^ *seq);
         let coin = h as f64 / u64::MAX as f64;
         if coin < self.drop_fraction {
             self.dropped += 1;
@@ -137,6 +163,44 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn drop_set_is_interleaving_invariant() {
+        // The same per-device event streams, fed in two very different
+        // global interleavings, must drop exactly the same events. This
+        // is the property that makes record loss shard-count-invariant:
+        // sharding only changes the cross-device interleaving.
+        let devices = 11u64;
+        let per_device = 400u64;
+        let survivors = |order: &[(u64, u64)]| {
+            let mut sink = LossySink::new(VecSink::default(), 0.3, 99);
+            for &(dev, k) in order {
+                // Event content depends on (dev, k) only.
+                let mut e = event(dev);
+                if let SimEvent::Signaling(s) = &mut e {
+                    s.time = SimTime::from_secs(k * 60);
+                    s.device = dev;
+                }
+                sink.on_event(&e);
+            }
+            let set: std::collections::BTreeSet<(u64, u64)> = sink
+                .inner()
+                .events
+                .iter()
+                .map(|e| (e.device(), e.time().as_secs()))
+                .collect();
+            (set, sink.dropped())
+        };
+        // Interleaving A: device-major (a 1-shard run).
+        let a: Vec<(u64, u64)> = (0..devices)
+            .flat_map(|d| (0..per_device).map(move |k| (d, k)))
+            .collect();
+        // Interleaving B: time-major round-robin (a serial run).
+        let b: Vec<(u64, u64)> = (0..per_device)
+            .flat_map(|k| (0..devices).map(move |d| (d, k)))
+            .collect();
+        assert_eq!(survivors(&a), survivors(&b));
     }
 
     #[test]

@@ -90,23 +90,25 @@ pub fn write_transactions<W: Write>(
     Ok(())
 }
 
-/// Collects non-blank lines with their 1-based line numbers.
-fn numbered_lines<R: BufRead>(input: R) -> Result<Vec<(usize, String)>, IoError> {
-    let mut out = Vec::new();
-    for (idx, line) in input.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        out.push((idx + 1, line));
-    }
-    Ok(out)
+/// Slices `text` into non-blank lines with their 1-based line numbers.
+/// `first_line` is the number of `text`'s first physical line (2 when a
+/// header line was consumed separately).
+///
+/// Borrowing slices out of one backing `String` — instead of collecting
+/// an owned `String` per row via `BufRead::lines` — is the JSONL ingest
+/// hot path's big win: one allocation per file, not one per record.
+fn numbered_line_slices(text: &str, first_line: usize) -> Vec<(usize, &str)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(idx, line)| (first_line + idx, line))
+        .collect()
 }
 
 /// Parses numbered JSONL lines in parallel (`wtr_sim::par`), preserving
 /// line order; on failure, the error reports the *earliest* bad line,
 /// exactly as a serial reader would.
-fn parse_lines<T: serde::Deserialize + Send>(lines: &[(usize, String)]) -> Result<Vec<T>, IoError> {
+fn parse_lines<T: serde::Deserialize + Send>(lines: &[(usize, &str)]) -> Result<Vec<T>, IoError> {
     par::par_map(lines, |(num, line)| {
         serde_json::from_str::<T>(line).map_err(|e| IoError::Parse {
             line: *num,
@@ -118,10 +120,13 @@ fn parse_lines<T: serde::Deserialize + Send>(lines: &[(usize, String)]) -> Resul
 }
 
 /// Reads a transaction log written by [`write_transactions`] (or produced
-/// by any tool emitting the same schema). Lines are parsed in parallel;
-/// the output order (and any reported parse error) matches a serial read.
-pub fn read_transactions<R: BufRead>(input: R) -> Result<Vec<M2mTransaction>, IoError> {
-    parse_lines(&numbered_lines(input)?)
+/// by any tool emitting the same schema). Lines are parsed in parallel
+/// as borrowed slices of one backing buffer; the output order (and any
+/// reported parse error) matches a serial read.
+pub fn read_transactions<R: BufRead>(mut input: R) -> Result<Vec<M2mTransaction>, IoError> {
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    parse_lines(&numbered_line_slices(&text, 1))
 }
 
 /// The JSONL wire form of one catalog row: identical field names and
@@ -258,28 +263,27 @@ pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(
 /// interned in row order (rows are parsed in parallel but installed in
 /// input order), so the rebuilt catalog — table included — is identical
 /// at any thread count.
-pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
-    let mut lines = input.lines().enumerate();
-    let (_, header_line) = lines
+pub fn read_catalog<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoError> {
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    let header_line = lines
         .next()
         .ok_or_else(|| IoError::BadHeader("empty input".into()))?;
-    let header_line = header_line?;
     let header: CatalogHeader =
-        serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+        serde_json::from_str(header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
     if header.format != CATALOG_FORMAT {
         return Err(IoError::BadHeader(format!(
             "unknown format {:?}",
             header.format
         )));
     }
-    let mut numbered = Vec::new();
-    for (idx, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        numbered.push((idx + 1, line));
-    }
+    // Row lines start on physical line 2; slices borrow from `text`.
+    let body = match text.find('\n') {
+        Some(i) => &text[i + 1..],
+        None => "",
+    };
+    let numbered = numbered_line_slices(body, 2);
     let wires: Vec<CatalogRowWire> = parse_lines(&numbered)?;
     let count = wires.len();
     let mut catalog = DevicesCatalog::new(header.window_days);
@@ -341,11 +345,17 @@ fn read_exact_vec<R: Read>(r: &mut R, n: usize, what: &str) -> Result<Vec<u8>, I
 enum StreamBackend<R> {
     /// JSONL: rows parse in parallel per line block; APN strings intern
     /// into the stream's growing table in row order (identical to
-    /// [`read_catalog`]'s serial install order).
+    /// [`read_catalog`]'s serial install order). Lines accumulate into
+    /// one persistent block buffer (cleared but never shrunk between
+    /// refills) and parse as borrowed slices — no per-row `String`.
     Jsonl {
-        lines: io::Lines<R>,
+        input: R,
         /// 1-based number of the last physical line consumed.
         line_no: usize,
+        /// Reusable block buffer holding the current refill's raw lines.
+        buf: String,
+        /// `(line number, byte range into `buf`)` per non-blank line.
+        spans: Vec<(usize, std::ops::Range<usize>)>,
     },
     /// `WTRCAT`: the canonical table came from the file header; row
     /// chunks decode lazily, one length-prefixed frame at a time.
@@ -403,13 +413,13 @@ impl<R: BufRead> CatalogStream<R> {
         }
     }
 
-    fn new_jsonl(input: R) -> Result<Self, IoError> {
-        let mut lines = input.lines();
-        let header_line = lines
-            .next()
-            .ok_or_else(|| IoError::BadHeader("empty input".into()))??;
-        let header: CatalogHeader =
-            serde_json::from_str(&header_line).map_err(|e| IoError::BadHeader(e.to_string()))?;
+    fn new_jsonl(mut input: R) -> Result<Self, IoError> {
+        let mut header_line = String::new();
+        if input.read_line(&mut header_line)? == 0 {
+            return Err(IoError::BadHeader("empty input".into()));
+        }
+        let header: CatalogHeader = serde_json::from_str(header_line.trim_end())
+            .map_err(|e| IoError::BadHeader(e.to_string()))?;
         if header.format != CATALOG_FORMAT {
             return Err(IoError::BadHeader(format!(
                 "unknown format {:?}",
@@ -418,7 +428,12 @@ impl<R: BufRead> CatalogStream<R> {
         }
         let declared_rows = header.rows as u64;
         Ok(CatalogStream {
-            backend: StreamBackend::Jsonl { lines, line_no: 1 },
+            backend: StreamBackend::Jsonl {
+                input,
+                line_no: 1,
+                buf: String::new(),
+                spans: Vec::new(),
+            },
             table: ApnTable::new(),
             window_days: header.window_days,
             declared_rows,
@@ -510,24 +525,35 @@ impl<R: BufRead> CatalogStream<R> {
     /// into `pending`. Sets `exhausted` at end of input.
     fn refill(&mut self) -> Result<(), IoError> {
         match &mut self.backend {
-            StreamBackend::Jsonl { lines, line_no } => {
-                let mut numbered: Vec<(usize, String)> = Vec::new();
-                while numbered.len() < wire::CAT_CHUNK_ROWS {
-                    match lines.next() {
-                        None => {
-                            self.exhausted = true;
-                            break;
-                        }
-                        Some(line) => {
-                            *line_no += 1;
-                            let line = line?;
-                            if line.trim().is_empty() {
-                                continue;
-                            }
-                            numbered.push((*line_no, line));
-                        }
+            StreamBackend::Jsonl {
+                input,
+                line_no,
+                buf,
+                spans,
+            } => {
+                // Accumulate up to a chunk of raw lines into the
+                // persistent block buffer: `clear` keeps capacity, so
+                // after the first refill the hot loop allocates nothing.
+                buf.clear();
+                spans.clear();
+                while spans.len() < wire::CAT_CHUNK_ROWS {
+                    let start = buf.len();
+                    if input.read_line(buf)? == 0 {
+                        self.exhausted = true;
+                        break;
                     }
+                    *line_no += 1;
+                    let line = buf[start..].trim_end_matches(['\n', '\r']);
+                    if line.trim().is_empty() {
+                        buf.truncate(start);
+                        continue;
+                    }
+                    spans.push((*line_no, start..start + line.len()));
                 }
+                let numbered: Vec<(usize, &str)> = spans
+                    .iter()
+                    .map(|(num, range)| (*num, &buf[range.clone()]))
+                    .collect();
                 let wires: Vec<CatalogRowWire> = parse_lines(&numbered)?;
                 self.rows_seen += wires.len() as u64;
                 let table = &mut self.table;
@@ -629,9 +655,11 @@ pub fn write_truth<W: Write>(
 
 /// Reads a ground-truth map written by [`write_truth`].
 pub fn read_truth<R: BufRead>(
-    input: R,
+    mut input: R,
 ) -> Result<BTreeMap<u64, wtr_model::vertical::Vertical>, IoError> {
-    let lines: Vec<TruthLine> = parse_lines(&numbered_lines(input)?)?;
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    let lines: Vec<TruthLine> = parse_lines(&numbered_line_slices(&text, 1))?;
     Ok(lines.into_iter().map(|t| (t.user, t.vertical)).collect())
 }
 

@@ -201,8 +201,10 @@ impl MnoProbe {
     }
 
     /// A probe with the same configuration but no accumulated state —
-    /// the chunk-local accumulator of the parallel ingest path.
-    fn fork_empty(&self) -> MnoProbe {
+    /// the chunk-local accumulator of the parallel ingest path, and the
+    /// shard-local probe of the sharded scenario runners (each shard
+    /// taps its own event loop with a fork of the configured probe).
+    pub fn fork_empty(&self) -> MnoProbe {
         let window_days = self.catalog.window_days();
         MnoProbe {
             studied: self.studied,
@@ -227,7 +229,17 @@ impl MnoProbe {
     /// stream) into this one. Catalog rows merge with first-touch identity
     /// preserved, raw records append in stream order, element loads and
     /// counters add.
-    fn absorb(&mut self, other: MnoProbe) {
+    ///
+    /// This is also the shard-merge of the sharded scenario runners:
+    /// shard probes tap disjoint device populations, so every keyed merge
+    /// (catalog rows) is conflict-free and every additive merge (element
+    /// load, radio/CDR/xDR counters) is order-insensitive. The one
+    /// ordering artifact — APN intern order, which depends on how shards
+    /// are concatenated — is erased by [`MnoProbe::canonicalize`]
+    /// afterwards. Property-tested in `tests/shard_determinism.rs`:
+    /// absorbing arbitrarily partitioned shard probes reproduces the
+    /// single-probe serial fold exactly.
+    pub fn absorb(&mut self, other: MnoProbe) {
         let apn_remap = self.catalog.merge(other.catalog);
         self.raw_radio.extend(other.raw_radio);
         self.raw_cdrs.extend(other.raw_cdrs);
@@ -242,6 +254,20 @@ impl MnoProbe {
         self.radio_events += other.radio_events;
         self.cdr_count += other.cdr_count;
         self.xdr_count += other.xdr_count;
+    }
+
+    /// Rewrites the catalog into canonical APN-symbol form (sorted
+    /// table, see [`DevicesCatalog::canonicalize`]) and remaps any
+    /// retained raw xDRs through the same symbol remap. Sharded and
+    /// serial runs intern APNs in different first-occurrence orders
+    /// (the interleaving of devices differs); canonical form is the
+    /// common fixpoint both converge to, making probe state comparable
+    /// — and byte-identical once serialized — across shard counts.
+    pub fn canonicalize(&mut self) {
+        let remap = self.catalog.canonicalize();
+        for x in &mut self.raw_xdrs {
+            x.apn = remap[x.apn.index()];
+        }
     }
 
     /// Ingests a batch of events, sharding the work over worker threads

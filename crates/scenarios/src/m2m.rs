@@ -27,10 +27,10 @@ use wtr_probes::m2m::M2mProbe;
 use wtr_probes::records::M2mTransaction;
 use wtr_radio::network::CoverageFaults;
 use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
-use wtr_sim::engine::Engine;
 use wtr_sim::events::ProcedureResult;
 use wtr_sim::mobility::MobilityModel;
 use wtr_sim::rng::SubstreamRng;
+use wtr_sim::shard;
 use wtr_sim::traffic::{DiurnalShape, TrafficProfile, VolumeDist};
 use wtr_sim::world::RoamingWorld;
 
@@ -196,30 +196,39 @@ impl M2mScenario {
             truths.push(truth);
         }
 
-        // Attach the probe and run.
-        let watched = universe
+        // Attach a shard-local probe to each shard's world and run. Each
+        // shard observes a disjoint slice of the device population, so
+        // concatenating the per-shard transaction logs in shard order and
+        // stable-sorting on (time, device) reproduces the serial log
+        // exactly: any ties within one (time, device) key come from a
+        // single device, whose own event order every shard preserves.
+        let watched: Vec<wtr_model::ids::ImsiRange> = universe
             .platform
             .hmnos()
             .iter()
             .map(|h| M2mPlatform::m2m_range(*h))
             .collect();
-        let probe = M2mProbe::new(watched, AnonKey::FIXED);
-        let world = RoamingWorld::new(
-            universe.directory,
-            Box::new(universe.policy),
-            probe,
-            cfg.seed,
-        );
         let horizon = SimTime::from_secs(cfg.days as u64 * 86_400);
-        let mut engine = Engine::new(world, horizon);
         let mut ground_truth = BTreeMap::new();
-        for (spec, truth) in specs.into_iter().zip(truths) {
-            let anon = anonymize_u64(AnonKey::FIXED, spec.imsi.packed());
-            ground_truth.insert(anon, truth);
-            engine.add_agent(DeviceAgent::new(spec, cfg.seed));
+        let agents: Vec<DeviceAgent> = specs
+            .into_iter()
+            .zip(truths)
+            .map(|(spec, truth)| {
+                let anon = anonymize_u64(AnonKey::FIXED, spec.imsi.packed());
+                ground_truth.insert(anon, truth);
+                DeviceAgent::new(spec, cfg.seed)
+            })
+            .collect();
+        let directory = universe.directory;
+        let policy = universe.policy;
+        let results = shard::run_sharded(horizon, shard::shard_count(None), agents, |_shard| {
+            let probe = M2mProbe::new(watched.clone(), AnonKey::FIXED);
+            RoamingWorld::new(directory.clone(), Box::new(policy.clone()), probe, cfg.seed)
+        });
+        let mut transactions: Vec<M2mTransaction> = Vec::new();
+        for (world, _stats) in results {
+            transactions.extend(world.sink.transactions);
         }
-        let world = engine.run();
-        let mut transactions = world.sink.transactions;
         transactions.sort_by_key(|t| (t.time, t.device));
         M2mScenarioOutput {
             transactions,

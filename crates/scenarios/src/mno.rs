@@ -46,9 +46,10 @@ use wtr_probes::mno::MnoProbe;
 use wtr_radio::network::{CoverageFaults, RadioNetwork};
 use wtr_radio::sector::GridSpacing;
 use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
-use wtr_sim::engine::Engine;
+use wtr_sim::engine::EngineStats;
 use wtr_sim::mobility::MobilityModel;
 use wtr_sim::rng::SubstreamRng;
+use wtr_sim::shard;
 use wtr_sim::stream::EventBatcher;
 use wtr_sim::traffic::TrafficProfile;
 use wtr_sim::world::{EventSink, RoamingWorld};
@@ -118,6 +119,22 @@ pub struct MnoScenarioOutput {
     pub record_counts: (u64, u64, u64),
     /// Per-day load on the monitored core elements (MME/SGSN/MSC/…).
     pub element_load: Vec<wtr_probes::mno::ElementLoad>,
+    /// Per-shard engine statistics (agents, wake-ups scheduled and
+    /// dispatched, queue high-water mark), in shard order — one entry
+    /// per event loop the run used. A serial run has exactly one entry;
+    /// spread in `dispatched` across entries shows shard imbalance.
+    pub shard_stats: Vec<EngineStats>,
+}
+
+impl MnoScenarioOutput {
+    /// Sum of the per-shard engine statistics.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in &self.shard_stats {
+            total.absorb(s);
+        }
+        total
+    }
 }
 
 /// The §4–§7 scenario builder/runner.
@@ -140,13 +157,19 @@ impl MnoScenario {
     }
 
     /// Builds, simulates and collects the catalog.
+    ///
+    /// The agent population is partitioned into `wtr_sim::par::threads()`
+    /// contiguous shards, each simulated on its own event loop (see
+    /// [`MnoScenario::run_sharded`]). Output is byte-identical at any
+    /// shard count, so the default simply follows the `WTR_THREADS` /
+    /// `par::set_threads` worker knob.
     pub fn run(&self) -> MnoScenarioOutput {
-        self.run_with(|probe| probe, |probe| probe)
+        self.run_sharded(shard::shard_count(None))
     }
 
-    /// Streaming variant of [`run`](MnoScenario::run): the probe sits
-    /// behind a [`wtr_sim::stream::EventBatcher`], so the engine's event
-    /// loop feeds it whole chunks through the [`wtr_sim::ChunkFold`]
+    /// Streaming variant of [`run`](MnoScenario::run): each shard's probe
+    /// sits behind a [`wtr_sim::stream::EventBatcher`], so the engine's
+    /// event loop feeds it whole chunks through the [`wtr_sim::ChunkFold`]
     /// interface instead of one `on_event` call per record.
     ///
     /// The batcher folds each batch *serially*, reproducing the push
@@ -155,17 +178,40 @@ impl MnoScenario {
     /// (the equivalence suite asserts it), while peak memory stays
     /// O(batch + probe state).
     pub fn run_streaming(&self) -> MnoScenarioOutput {
-        self.run_with(EventBatcher::new, EventBatcher::finish)
+        self.run_streaming_sharded(shard::shard_count(None))
     }
 
-    /// Shared body of [`run`](MnoScenario::run) /
-    /// [`run_streaming`](MnoScenario::run_streaming): `wrap` adapts the
-    /// probe into the engine's event sink, `unwrap` recovers it (flushing
-    /// any buffered records) after the simulation completes.
-    fn run_with<S: EventSink>(
+    /// [`run`](MnoScenario::run) with an explicit shard count: the device
+    /// population splits into `shards` contiguous shards
+    /// ([`wtr_sim::par::split_ranges`]), each runs its own engine with a
+    /// shard-local probe behind a shard-local [`LossySink`], and the
+    /// shard probes merge left-to-right with `MnoProbe::absorb` followed
+    /// by APN-symbol canonicalization. `shards == 1` *is* the serial
+    /// path: one engine, inline on the calling thread.
+    ///
+    /// Output — catalog bytes, ground truth, record counts, element
+    /// load — is byte-identical at every shard count; the shard-count
+    /// determinism matrix in `tests/shard_determinism.rs` enforces it.
+    pub fn run_sharded(&self, shards: usize) -> MnoScenarioOutput {
+        self.run_with(shards, |probe| probe, |probe| probe)
+    }
+
+    /// [`run_streaming`](MnoScenario::run_streaming) with an explicit
+    /// shard count: shard-local `EventBatcher`s, same merge as
+    /// [`run_sharded`](MnoScenario::run_sharded).
+    pub fn run_streaming_sharded(&self, shards: usize) -> MnoScenarioOutput {
+        self.run_with(shards, EventBatcher::new, EventBatcher::finish)
+    }
+
+    /// Shared body of the four runners: `wrap` adapts a shard-local probe
+    /// into the engine's event sink, `unwrap` recovers it (flushing any
+    /// buffered records) after that shard's simulation completes. Both
+    /// are called once per shard.
+    fn run_with<S: EventSink + Send>(
         &self,
-        wrap: impl FnOnce(MnoProbe) -> S,
-        unwrap: impl FnOnce(S) -> MnoProbe,
+        shards: usize,
+        wrap: impl Fn(MnoProbe) -> S + Sync,
+        unwrap: impl Fn(S) -> MnoProbe,
     ) -> MnoScenarioOutput {
         let cfg = &self.config;
         let faults = CoverageFaults {
@@ -219,25 +265,50 @@ impl MnoScenario {
                 .expect("constant range valid"),
             );
         }
-        // Probe records can be lossy (fault injection): wrap the probe in
-        // a LossySink so a configured fraction never reaches aggregation.
-        // The loss layer sits *outside* the batcher, so the deterministic
-        // per-event coin sequence is identical on both run paths.
-        let lossy = LossySink::new(wrap(probe), cfg.record_loss_fraction, cfg.seed);
-        let world = RoamingWorld::new(
-            universe.directory,
-            Box::new(universe.policy),
-            lossy,
-            cfg.seed,
-        );
-        let mut engine = Engine::new(world, SimTime::from_secs(cfg.days as u64 * 86_400));
+        let horizon = SimTime::from_secs(cfg.days as u64 * 86_400);
         let mut ground_truth = BTreeMap::new();
-        for (spec, vertical) in specs.into_iter().zip(truth) {
-            ground_truth.insert(anonymize_u64(AnonKey::FIXED, spec.imsi.packed()), vertical);
-            engine.add_agent(DeviceAgent::new(spec, cfg.seed));
+        let agents: Vec<DeviceAgent> = specs
+            .into_iter()
+            .zip(truth)
+            .map(|(spec, vertical)| {
+                ground_truth.insert(anonymize_u64(AnonKey::FIXED, spec.imsi.packed()), vertical);
+                DeviceAgent::new(spec, cfg.seed)
+            })
+            .collect();
+        // Each shard gets its own world: a clone of the directory and
+        // roaming policy, plus a fresh empty probe forked from the
+        // prototype. Probe records can be lossy (fault injection): each
+        // shard wraps its probe in a shard-local LossySink so a configured
+        // fraction never reaches aggregation. The loss layer sits
+        // *outside* the batcher and its drop coin is keyed on
+        // (salt, device, per-device seq), so the dropped-record set is
+        // identical across shard counts and on both run paths.
+        let directory = universe.directory;
+        let policy = universe.policy;
+        let probe_proto = probe;
+        let results = shard::run_sharded(horizon, shards, agents, |_shard| {
+            let lossy = LossySink::new(
+                wrap(probe_proto.fork_empty()),
+                cfg.record_loss_fraction,
+                cfg.seed,
+            );
+            RoamingWorld::new(directory.clone(), Box::new(policy.clone()), lossy, cfg.seed)
+        });
+        // Merge the shard probes left-to-right (shard order), then
+        // canonicalize APN symbols: the only interleaving-dependent state
+        // is the intern order, which canonicalization erases.
+        let mut shard_stats = Vec::with_capacity(results.len());
+        let mut merged: Option<MnoProbe> = None;
+        for (world, stats) in results {
+            shard_stats.push(stats);
+            let shard_probe = unwrap(world.sink.into_inner());
+            match &mut merged {
+                None => merged = Some(shard_probe),
+                Some(m) => m.absorb(shard_probe),
+            }
         }
-        let world = engine.run();
-        let probe = unwrap(world.sink.into_inner());
+        let mut probe = merged.expect("at least one shard");
+        probe.canonicalize();
         let record_counts = (
             probe.radio_event_count(),
             probe.cdr_count(),
@@ -252,6 +323,7 @@ impl MnoScenario {
             days: cfg.days,
             record_counts,
             element_load,
+            shard_stats,
         }
     }
 }

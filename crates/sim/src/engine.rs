@@ -3,8 +3,25 @@
 //! Deliberately minimal (smoltcp's "simplicity and robustness" anti-macro
 //! ethos): the engine knows nothing about devices or networks. Agents
 //! schedule `(time, tag)` wake-ups for themselves; the engine dispatches
-//! them in strict `(time, sequence)` order, giving a total order that makes
-//! every run bit-reproducible.
+//! them in strict `(time, agent, per-agent seq)` order.
+//!
+//! ## Why this tie-break, and not a global insertion counter
+//!
+//! The dispatch total order is `(time, agent id, per-agent sequence)`. The
+//! per-agent sequence counts how many wake-ups *that agent* has scheduled,
+//! so the key of every wake-up is a pure function of the scheduling
+//! agent's own history — never of how agents from different shards happen
+//! to interleave their `wake_at` calls. Earlier revisions broke ties with
+//! one global insertion counter, which encodes the *interleaving* of all
+//! agents into every key: splitting the agent population across K
+//! independent event loops (see [`crate::shard`]) would assign different
+//! counters and therefore a different dispatch order for every K. With the
+//! shard-stable order, a serial run and a sharded run dispatch each
+//! agent's wake-ups in exactly the same relative order, which is what
+//! makes sharded simulation output mergeable and byte-identical at any
+//! shard count. Since agents can only self-schedule (no cross-agent
+//! wakes), the two orders dispatch the *same multiset* of wake-ups — only
+//! the interleaving between different agents changes.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,14 +39,23 @@ pub struct WakeTag(pub u32);
 /// The scheduling interface handed to agents.
 ///
 /// Only self-scheduling is exposed: an agent cannot wake another agent,
-/// which keeps agent interactions flowing through the world state `W` and
-/// the dispatch order deterministic.
+/// which keeps agent interactions flowing through the world state `W`,
+/// the dispatch order deterministic, and — because no wake-up ever
+/// crosses agents — the agent population freely partitionable across
+/// independent per-shard event loops.
 #[derive(Debug)]
 pub struct Scheduler {
     now: SimTime,
     horizon: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<(SimTime, u64, u32, u32)>>,
+    /// Per-agent wake-up counters: `seqs[agent]` is the number of
+    /// wake-ups agent `agent` has scheduled so far. Grown on demand.
+    seqs: Vec<u64>,
+    /// Min-heap on `(time, agent, per-agent seq, tag)`.
+    queue: BinaryHeap<Reverse<(SimTime, u32, u64, u32)>>,
+    /// Total wake-ups accepted (past/post-horizon ones excluded).
+    scheduled: u64,
+    /// High-water mark of the queue depth.
+    peak_queue: usize,
 }
 
 impl Scheduler {
@@ -37,8 +63,10 @@ impl Scheduler {
         Scheduler {
             now: SimTime::ZERO,
             horizon,
-            seq: 0,
+            seqs: Vec::new(),
             queue: BinaryHeap::new(),
+            scheduled: 0,
+            peak_queue: 0,
         }
     }
 
@@ -59,13 +87,31 @@ impl Scheduler {
         if at < self.now || at >= self.horizon {
             return;
         }
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, agent.0, tag.0)));
+        let idx = agent.0 as usize;
+        if idx >= self.seqs.len() {
+            self.seqs.resize(idx + 1, 0);
+        }
+        self.seqs[idx] += 1;
+        self.scheduled += 1;
+        self.queue
+            .push(Reverse((at, agent.0, self.seqs[idx], tag.0)));
+        self.peak_queue = self.peak_queue.max(self.queue.len());
     }
 
     /// Number of pending wake-ups.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Total wake-ups accepted so far (dropped past/post-horizon wake-ups
+    /// excluded).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// High-water mark of the pending-queue depth.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
     }
 }
 
@@ -77,6 +123,35 @@ pub trait Agent<W> {
 
     /// Called at each scheduled wake-up.
     fn wake(&mut self, id: AgentId, tag: WakeTag, world: &mut W, sched: &mut Scheduler);
+}
+
+/// Per-run scheduler statistics, reported by [`Engine::run_stats`] and
+/// aggregated per shard by [`crate::shard::run_sharded`] so shard
+/// imbalance is visible in scenario outputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineStats {
+    /// Number of agents the engine ran.
+    pub agents: u64,
+    /// Total wake-ups accepted by the scheduler.
+    pub scheduled: u64,
+    /// Total wake-ups dispatched (equals `scheduled` when the run
+    /// drains the queue).
+    pub dispatched: u64,
+    /// High-water mark of the pending-queue depth.
+    pub peak_queue: u64,
+}
+
+impl EngineStats {
+    /// Adds another engine's counters into this one (used when merging
+    /// shard stats into a scenario-level total).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.agents += other.agents;
+        self.scheduled += other.scheduled;
+        self.dispatched += other.dispatched;
+        // Shard queues are independent heaps; the total high-water mark
+        // across concurrent loops is at most the sum.
+        self.peak_queue += other.peak_queue;
+    }
 }
 
 /// The event loop: owns the agents, the world, and the queue.
@@ -105,6 +180,11 @@ impl<W, A: Agent<W>> Engine<W, A> {
         id
     }
 
+    /// Adds all agents from an iterator (before [`Engine::run`]).
+    pub fn add_agents(&mut self, agents: impl IntoIterator<Item = A>) {
+        self.agents.extend(agents);
+    }
+
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
         self.agents.len()
@@ -121,13 +201,24 @@ impl<W, A: Agent<W>> Engine<W, A> {
     }
 
     /// Runs to completion: initializes every agent, then dispatches
-    /// wake-ups in time order until the queue drains or the horizon is
-    /// reached. Returns the world (with whatever the agents produced).
-    pub fn run(mut self) -> W {
+    /// wake-ups in `(time, agent, per-agent seq)` order until the queue
+    /// drains or the horizon is reached. Returns the world (with whatever
+    /// the agents produced).
+    pub fn run(self) -> W {
+        self.run_stats().0
+    }
+
+    /// [`Engine::run`], additionally returning the scheduler statistics.
+    pub fn run_stats(mut self) -> (W, EngineStats) {
+        // Steady state for device-style populations is about one pending
+        // wake-up per agent; reserving up front avoids the doubling
+        // reallocations during the init burst.
+        self.sched.queue.reserve(self.agents.len());
+        self.sched.seqs.resize(self.agents.len(), 0);
         for (i, agent) in self.agents.iter_mut().enumerate() {
             agent.init(AgentId(i as u32), &mut self.world, &mut self.sched);
         }
-        while let Some(Reverse((at, _seq, agent, tag))) = self.sched.queue.pop() {
+        while let Some(Reverse((at, agent, _seq, tag))) = self.sched.queue.pop() {
             self.sched.now = at;
             self.dispatched += 1;
             self.agents[agent as usize].wake(
@@ -137,7 +228,13 @@ impl<W, A: Agent<W>> Engine<W, A> {
                 &mut self.sched,
             );
         }
-        self.world
+        let stats = EngineStats {
+            agents: self.agents.len() as u64,
+            scheduled: self.sched.scheduled,
+            dispatched: self.dispatched,
+            peak_queue: self.sched.peak_queue as u64,
+        };
+        (self.world, stats)
     }
 }
 
@@ -189,7 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn ties_dispatch_in_schedule_order() {
+    fn ties_dispatch_in_agent_order() {
         struct Once {
             at: u64,
         }
@@ -210,8 +307,30 @@ mod tests {
         assert_eq!(
             order,
             vec![0, 1, 2, 3, 4],
-            "tie-break must follow insertion order"
+            "tie-break must follow agent-id order"
         );
+    }
+
+    #[test]
+    fn same_time_same_agent_dispatches_in_schedule_order() {
+        // One agent scheduling several wake-ups for the same instant:
+        // the per-agent sequence preserves its own scheduling order.
+        struct Burst;
+        impl Agent<Log> for Burst {
+            fn init(&mut self, id: AgentId, _w: &mut Log, s: &mut Scheduler) {
+                for tag in [3u32, 1, 2, 0] {
+                    s.wake_at(id, WakeTag(tag), SimTime::from_secs(10));
+                }
+            }
+            fn wake(&mut self, id: AgentId, tag: WakeTag, w: &mut Log, s: &mut Scheduler) {
+                w.push((s.now(), id.0, tag.0));
+            }
+        }
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(100));
+        engine.add_agent(Burst);
+        let log = engine.run();
+        let tags: Vec<u32> = log.iter().map(|(_, _, t)| *t).collect();
+        assert_eq!(tags, vec![3, 1, 2, 0], "per-agent FIFO within one instant");
     }
 
     #[test]
@@ -242,5 +361,34 @@ mod tests {
         let log = engine.run();
         count += log.len() as u64;
         assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn run_stats_reports_scheduler_counters() {
+        let mut engine = Engine::new(Log::new(), SimTime::from_secs(100));
+        engine.add_agent(Ticker { period: 25 });
+        engine.add_agent(Ticker { period: 40 });
+        let (log, stats) = engine.run_stats();
+        assert_eq!(stats.agents, 2);
+        assert_eq!(stats.dispatched, log.len() as u64);
+        // The queue drained, so everything accepted was dispatched.
+        assert_eq!(stats.scheduled, stats.dispatched);
+        assert!(stats.peak_queue >= 2, "both init wake-ups coexist");
+    }
+
+    #[test]
+    fn stats_absorb_is_additive() {
+        let a = EngineStats {
+            agents: 2,
+            scheduled: 10,
+            dispatched: 10,
+            peak_queue: 3,
+        };
+        let mut total = EngineStats::default();
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.agents, 4);
+        assert_eq!(total.scheduled, 20);
+        assert_eq!(total.peak_queue, 6);
     }
 }

@@ -29,6 +29,8 @@
 //!   roaming access policy, event sink.
 //! * [`device`] — the device agent tying it all together.
 //! * [`par`] — deterministic order-stable parallel map-reduce.
+//! * [`shard`] — sharded simulation: K independent per-shard event
+//!   loops over a contiguously partitioned agent population.
 //! * [`stream`] — chunked record streams and mergeable chunk-fold
 //!   sinks: the bounded-memory single-pass pipeline core.
 
@@ -41,12 +43,13 @@ pub mod events;
 pub mod mobility;
 pub mod par;
 pub mod rng;
+pub mod shard;
 pub mod stream;
 pub mod traffic;
 pub mod world;
 
 pub use device::{DeviceAgent, DeviceSpec, PresenceModel};
-pub use engine::{Agent, AgentId, Engine, Scheduler, WakeTag};
+pub use engine::{Agent, AgentId, Engine, EngineStats, Scheduler, WakeTag};
 pub use events::{
     DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall,
 };

@@ -125,6 +125,32 @@ where
     out
 }
 
+/// Splits `0..n` into at most `k` contiguous, non-empty, in-order
+/// ranges whose union is `0..n`.
+///
+/// The boundaries are a pure function of `(n, k)`: range `w` is
+/// `[w*per, min((w+1)*per, n))` with `per = n.div_ceil(k)` — the same
+/// contiguous assignment [`par_each`] and [`chunked_map`] use for their
+/// workers. This is the partitioning used by [`crate::shard`] to split
+/// an agent population into per-shard event loops: contiguity preserves
+/// the relative agent order inside every shard, which the shard-stable
+/// dispatch order `(time, agent, seq)` relies on.
+pub fn split_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.max(1);
+    let per = n.div_ceil(k);
+    let mut out = Vec::with_capacity(k.min(n));
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + per).min(n);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
 /// Maps every item through `f` with **one work unit per item**,
 /// preserving input order in the output.
 ///
@@ -148,18 +174,14 @@ where
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
-    let per = items.len().div_ceil(workers);
+    let ranges = split_ranges(items.len(), workers);
     let f = &f;
     let mut indexed: Vec<(usize, Vec<U>)> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let lo = w * per;
-            let hi = ((w + 1) * per).min(items.len());
-            if lo >= hi {
-                break;
-            }
-            let slice = &items[lo..hi];
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let lo = r.start;
+            let slice = &items[r];
             handles.push(scope.spawn(move || (lo, slice.iter().map(f).collect::<Vec<U>>())));
         }
         for h in handles {
@@ -197,23 +219,16 @@ where
 
     // Contiguous chunk-range per worker; ranges are a pure function of
     // (chunk count, worker count) so assignment is reproducible too.
-    let per = chunks.len().div_ceil(workers);
+    let ranges = split_ranges(chunks.len(), workers);
     let f = &f;
     let chunks = &chunks;
     let mut indexed: Vec<(usize, U)> = Vec::with_capacity(chunks.len());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let lo = w * per;
-            let hi = ((w + 1) * per).min(chunks.len());
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move || {
-                (lo..hi)
-                    .map(|i| (i, f(chunks[i])))
-                    .collect::<Vec<(usize, U)>>()
-            }));
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            handles.push(
+                scope.spawn(move || r.map(|i| (i, f(chunks[i]))).collect::<Vec<(usize, U)>>()),
+            );
         }
         for h in handles {
             indexed.extend(h.join().expect("wtr-sim::par worker panicked"));
@@ -319,6 +334,25 @@ mod tests {
         set_threads(Some(4));
         assert!(par_each(&empty, |x| *x).is_empty());
         set_threads(None);
+    }
+
+    #[test]
+    fn split_ranges_covers_input_in_order() {
+        for n in [0usize, 1, 2, 5, 37, 400, 1_000] {
+            for k in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(n, k);
+                assert!(ranges.len() <= k, "n={n} k={k}: {} ranges", ranges.len());
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} k={k}: gap/overlap");
+                    assert!(r.start < r.end, "n={n} k={k}: empty range");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} k={k}: union must be 0..n");
+            }
+        }
+        assert!(split_ranges(0, 4).is_empty());
+        assert_eq!(split_ranges(10, 0), split_ranges(10, 1));
     }
 
     #[test]
