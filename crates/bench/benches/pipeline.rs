@@ -128,6 +128,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("catalog_jsonl_read", |b| {
         b.iter(|| probe_io::read_catalog(black_box(&jsonl[..])).unwrap())
     });
+    // Ablation: same reader with the zero-copy scanner disabled — every
+    // line goes through the serde fallback path. The delta is the serde
+    // tax the scanner removes.
+    g.bench_function("catalog_jsonl_read_serde", |b| {
+        b.iter(|| probe_io::read_catalog_serde(black_box(&jsonl[..])).unwrap())
+    });
     g.bench_function("catalog_wtrcat_encode", |b| {
         b.iter(|| wire::encode_catalog(black_box(catalog)))
     });

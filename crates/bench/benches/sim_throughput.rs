@@ -1,10 +1,13 @@
-//! Sharded simulation throughput: the PR-4 acceptance bench.
+//! Sharded simulation throughput: the PR-4/PR-5 acceptance bench.
 //!
 //! Times `MnoScenario::run_sharded` at shards = 1/2/8 on two fixtures
 //! (the 400x5 acceptance scenario and the 2500x22 analysis-scale one),
-//! plus the JSONL ingest hot path before/after the borrowed-slice
-//! rework. One-shot wall-clock numbers are printed as JSON for
-//! `BENCH_PR4.json`; Criterion then times the same paths properly.
+//! plus the JSONL ingest hot path. One-shot wall-clock numbers are
+//! printed as JSON for `BENCH_PR*.json`; Criterion then times the same
+//! paths properly. The PR-5 summary adds the two ablation axes: the
+//! zero-copy scanner on/off (`read_catalog` vs `read_catalog_serde`)
+//! and the tree-reduction merge on/off (`WTR_SERIAL_MERGE=1` forces
+//! the serial shard-order fold).
 //!
 //! Acceptance: on the 1-CPU bench host, `run_sharded(1)` — one engine,
 //! inline on the calling thread — must stay within 5% of the pre-PR
@@ -50,13 +53,32 @@ fn bench(c: &mut Criterion) {
         let ms = time_ms(10, || scenario.run_sharded(shards));
         parts.push(format!("\"sim_400x5_shards{shards}_ms\":{ms:.1}"));
     }
-    // JSONL ingest after the borrowed-slice rework (BENCH_PR3 recorded
-    // 1084 ms for the per-row-String reader on the same fixture).
-    let output = MnoScenario::new(config(2_500, 22, 99)).run();
+    // Merge-tail ablation on the analysis-scale fixture: tree reduction
+    // (default) vs the serial shard-order fold (WTR_SERIAL_MERGE=1).
+    let big = config(2_500, 22, 99);
+    for shards in [1usize, 8] {
+        let scenario = MnoScenario::new(big.clone());
+        let ms = time_ms(2, || scenario.run_sharded(shards));
+        parts.push(format!("\"sim_2500x22_shards{shards}_ms\":{ms:.1}"));
+    }
+    std::env::set_var("WTR_SERIAL_MERGE", "1");
+    let scenario = MnoScenario::new(big.clone());
+    let serial_merge_ms = time_ms(2, || scenario.run_sharded(8));
+    std::env::remove_var("WTR_SERIAL_MERGE");
+    parts.push(format!(
+        "\"sim_2500x22_shards8_serial_merge_ms\":{serial_merge_ms:.1}"
+    ));
+    // JSONL ingest, scanner on vs off (BENCH_PR4 recorded 1108.5 ms for
+    // the serde-per-line reader on the same 2500x22 fixture).
+    let output = MnoScenario::new(big.clone()).run();
     let mut jsonl = Vec::new();
     probe_io::write_catalog(&mut jsonl, &output.catalog).unwrap();
     let ingest_ms = time_ms(3, || probe_io::read_catalog(jsonl.as_slice()).unwrap());
     parts.push(format!("\"jsonl_read_catalog_ms\":{ingest_ms:.1}"));
+    let serde_ms = time_ms(3, || {
+        probe_io::read_catalog_serde(jsonl.as_slice()).unwrap()
+    });
+    parts.push(format!("\"jsonl_read_catalog_serde_ms\":{serde_ms:.1}"));
     eprintln!("{{{}}}", parts.join(","));
 
     // --- Criterion groups -------------------------------------------
@@ -70,7 +92,6 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    let big = config(2_500, 22, 99);
     let mut g = c.benchmark_group("sim_throughput_2500x22");
     g.sample_size(10);
     for shards in [1usize, 2, 8] {

@@ -1,0 +1,38 @@
+//! Hand-run ingest profile: times `read_catalog` (zero-copy scanner)
+//! vs `read_catalog_serde` (fallback only) on the analysis-scale
+//! 2500x22 fixture, several samples each, so the BENCH_PR5 numbers can
+//! be cross-checked on a quiet host.
+
+use std::hint::black_box;
+use std::time::Instant;
+use wtr_probes::io as probe_io;
+use wtr_scenarios::{MnoScenario, MnoScenarioConfig};
+
+fn main() {
+    let output = MnoScenario::new(MnoScenarioConfig {
+        devices: 2_500,
+        days: 22,
+        seed: 99,
+        nbiot_meter_fraction: 0.05,
+        sunset_2g_uk: false,
+        gsma_transparency: false,
+        record_loss_fraction: 0.0,
+    })
+    .run();
+    let mut jsonl = Vec::new();
+    probe_io::write_catalog(&mut jsonl, &output.catalog).unwrap();
+    println!(
+        "fixture: {} rows, {} bytes",
+        output.catalog.len(),
+        jsonl.len()
+    );
+    for _ in 0..5 {
+        let t = Instant::now();
+        black_box(probe_io::read_catalog(jsonl.as_slice()).unwrap());
+        let scanner = t.elapsed();
+        let t = Instant::now();
+        black_box(probe_io::read_catalog_serde(jsonl.as_slice()).unwrap());
+        let serde = t.elapsed();
+        println!("scanner {scanner:?}  serde {serde:?}");
+    }
+}

@@ -92,14 +92,24 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
     );
     // `--stream` drives the probe through the batched event stream —
     // byte-identical catalog (test-enforced), bounded ingest buffers.
-    // `--shards K` forces the shard count (default: the WTR_THREADS /
-    // available-parallelism worker knob); output is byte-identical at
-    // any K, so this is purely a performance/verification knob.
+    // `--shards K` forces the shard count; without it the count comes
+    // from WTR_THREADS, or failing that available parallelism (the
+    // explicit flag always wins over the environment). Output is
+    // byte-identical at any K, so this is purely a performance/
+    // verification knob. Zero is a misconfiguration, not a request for
+    // serial — reject it loudly rather than quietly running one shard.
     let shards = match args.get("shards") {
-        Some(s) => Some(
-            s.parse::<usize>()
-                .map_err(|e| format!("--shards {s}: {e}"))?,
-        ),
+        Some(s) => {
+            let k = s
+                .parse::<usize>()
+                .map_err(|e| format!("--shards {s}: {e}"))?;
+            if k == 0 {
+                return Err("--shards must be at least 1 (omit the flag to use \
+                            WTR_THREADS / available parallelism)"
+                    .into());
+            }
+            Some(k)
+        }
         None => None,
     };
     let scenario = MnoScenario::new(config);

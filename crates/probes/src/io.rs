@@ -14,6 +14,7 @@
 
 use crate::catalog::{CatalogEntry, DevicesCatalog, MobilityAccum};
 use crate::records::M2mTransaction;
+use crate::scan::{self, Scanner};
 use crate::wire;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -108,7 +109,34 @@ fn numbered_line_slices(text: &str, first_line: usize) -> Vec<(usize, &str)> {
 /// Parses numbered JSONL lines in parallel (`wtr_sim::par`), preserving
 /// line order; on failure, the error reports the *earliest* bad line,
 /// exactly as a serial reader would.
-fn parse_lines<T: serde::Deserialize + Send>(lines: &[(usize, &str)]) -> Result<Vec<T>, IoError> {
+///
+/// Each line first goes through the schema-specialized scanner
+/// ([`crate::scan`]); lines that deviate from the canonical shape fall
+/// back to the serde parser, which owns all error reporting — so the
+/// result (value or error, message and line number) is identical to
+/// [`parse_lines_serde`] on every input.
+fn parse_lines<T: serde::Deserialize + scan::FastParse + Send>(
+    lines: &[(usize, &str)],
+) -> Result<Vec<T>, IoError> {
+    par::par_map(lines, |(num, line)| {
+        if let Some(v) = T::fast_parse(line) {
+            return Ok(v);
+        }
+        serde_json::from_str::<T>(line).map_err(|e| IoError::Parse {
+            line: *num,
+            message: e.to_string(),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Serde-only twin of [`parse_lines`]: the reference implementation the
+/// scanner's fallback contract is checked against (equivalence tests and
+/// the `io_throughput` ablation benches).
+fn parse_lines_serde<T: serde::Deserialize + Send>(
+    lines: &[(usize, &str)],
+) -> Result<Vec<T>, IoError> {
     par::par_map(lines, |(num, line)| {
         serde_json::from_str::<T>(line).map_err(|e| IoError::Parse {
             line: *num,
@@ -127,6 +155,14 @@ pub fn read_transactions<R: BufRead>(mut input: R) -> Result<Vec<M2mTransaction>
     let mut text = String::new();
     input.read_to_string(&mut text)?;
     parse_lines(&numbered_line_slices(&text, 1))
+}
+
+/// [`read_transactions`] without the scanner fast path: the serde-only
+/// reference reader (equivalence tests and ablation benches).
+pub fn read_transactions_serde<R: BufRead>(mut input: R) -> Result<Vec<M2mTransaction>, IoError> {
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    parse_lines_serde(&numbered_line_slices(&text, 1))
 }
 
 /// The JSONL wire form of one catalog row: identical field names and
@@ -157,6 +193,82 @@ struct CatalogRowWire {
     in_designated_range: bool,
     in_published_m2m_range: bool,
     mobility: MobilityAccum,
+}
+
+impl scan::FastParse for CatalogRowWire {
+    /// Matches the canonical [`write_catalog`] row shape: the struct's
+    /// keys in declaration order, compact separators, validated-range
+    /// scalars. Anything else bails to serde (see [`crate::scan`]).
+    fn fast_parse(line: &str) -> Option<Self> {
+        let mut sc = Scanner::new(line);
+        sc.lit("{\"user\":")?;
+        let user = sc.u64_val()?;
+        sc.lit(",\"day\":")?;
+        let day = Day(sc.u32_val()?);
+        sc.lit(",\"sim_plmn\":")?;
+        let sim_plmn = sc.plmn()?;
+        sc.lit(",\"tac\":")?;
+        let tac = sc.tac()?;
+        sc.lit(",\"label\":")?;
+        let label = sc.roaming_label()?;
+        sc.lit(",\"events\":")?;
+        let events = sc.u64_val()?;
+        sc.lit(",\"failed_events\":")?;
+        let failed_events = sc.u64_val()?;
+        sc.lit(",\"calls\":")?;
+        let calls = sc.u64_val()?;
+        sc.lit(",\"sms\":")?;
+        let sms = sc.u64_val()?;
+        sc.lit(",\"call_secs\":")?;
+        let call_secs = sc.u64_val()?;
+        sc.lit(",\"data_sessions\":")?;
+        let data_sessions = sc.u64_val()?;
+        sc.lit(",\"bytes_up\":")?;
+        let bytes_up = sc.u64_val()?;
+        sc.lit(",\"bytes_down\":")?;
+        let bytes_down = sc.u64_val()?;
+        sc.lit(",\"visited\":")?;
+        let visited = sc.set(Scanner::u32_val)?;
+        sc.lit(",\"apns\":")?;
+        let apns = sc.set(|sc| sc.string_val().map(str::to_owned))?;
+        sc.lit(",\"radio_flags\":")?;
+        let radio_flags = sc.radio_flags()?;
+        sc.lit(",\"sector_set\":")?;
+        let sector_set = sc.set(Scanner::u64_val)?;
+        sc.lit(",\"hourly\":")?;
+        let hourly = sc.hourly()?;
+        sc.lit(",\"in_designated_range\":")?;
+        let in_designated_range = sc.bool_val()?;
+        sc.lit(",\"in_published_m2m_range\":")?;
+        let in_published_m2m_range = sc.bool_val()?;
+        sc.lit(",\"mobility\":")?;
+        let mobility = sc.mobility()?;
+        sc.lit("}")?;
+        sc.finish()?;
+        Some(CatalogRowWire {
+            user,
+            day,
+            sim_plmn,
+            tac,
+            label,
+            events,
+            failed_events,
+            calls,
+            sms,
+            call_secs,
+            data_sessions,
+            bytes_up,
+            bytes_down,
+            visited,
+            apns,
+            radio_flags,
+            sector_set,
+            hourly,
+            in_designated_range,
+            in_published_m2m_range,
+            mobility,
+        })
+    }
 }
 
 impl CatalogRowWire {
@@ -263,7 +375,24 @@ pub fn write_catalog<W: Write>(mut out: W, catalog: &DevicesCatalog) -> Result<(
 /// interned in row order (rows are parsed in parallel but installed in
 /// input order), so the rebuilt catalog — table included — is identical
 /// at any thread count.
-pub fn read_catalog<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoError> {
+pub fn read_catalog<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
+    read_catalog_impl(input, parse_lines::<CatalogRowWire>)
+}
+
+/// [`read_catalog`] without the scanner fast path: the serde-only
+/// reference reader (equivalence tests and ablation benches).
+pub fn read_catalog_serde<R: BufRead>(input: R) -> Result<DevicesCatalog, IoError> {
+    read_catalog_impl(input, parse_lines_serde::<CatalogRowWire>)
+}
+
+/// Line-batch parser signature shared by the scanner-backed and
+/// serde-only catalog readers.
+type RowParser = fn(&[(usize, &str)]) -> Result<Vec<CatalogRowWire>, IoError>;
+
+fn read_catalog_impl<R: BufRead>(
+    mut input: R,
+    parse: RowParser,
+) -> Result<DevicesCatalog, IoError> {
     let mut text = String::new();
     input.read_to_string(&mut text)?;
     let mut lines = text.lines();
@@ -284,7 +413,7 @@ pub fn read_catalog<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoError>
         None => "",
     };
     let numbered = numbered_line_slices(body, 2);
-    let wires: Vec<CatalogRowWire> = parse_lines(&numbered)?;
+    let wires: Vec<CatalogRowWire> = parse(&numbered)?;
     let count = wires.len();
     let mut catalog = DevicesCatalog::new(header.window_days);
     for wire in wires {
@@ -328,16 +457,23 @@ pub fn read_catalog_auto<R: BufRead>(mut input: R) -> Result<DevicesCatalog, IoE
 }
 
 /// Reads exactly `n` bytes from `r`.
+///
+/// `n` is untrusted (it comes from length prefixes in the file), so the
+/// buffer is **not** pre-allocated to `n`: reading through a bounded
+/// `take` grows it incrementally, capping the allocation at the bytes
+/// the input actually contains plus a small seed capacity.
 fn read_exact_vec<R: Read>(r: &mut R, n: usize, what: &str) -> Result<Vec<u8>, IoError> {
-    let mut buf = vec![0u8; n];
-    r.read_exact(&mut buf)
-        .map_err(|e| match e.kind() {
-            io::ErrorKind::UnexpectedEof => {
-                io::Error::new(e.kind(), format!("truncated {what}: {e}"))
-            }
-            _ => e,
-        })
+    let mut buf = Vec::with_capacity(n.min(64 * 1024));
+    r.by_ref()
+        .take(n as u64)
+        .read_to_end(&mut buf)
         .map_err(IoError::Io)?;
+    if buf.len() != n {
+        return Err(IoError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("truncated {what}: needed {n} bytes, found {}", buf.len()),
+        )));
+    }
     Ok(buf)
 }
 
@@ -445,14 +581,19 @@ impl<R: BufRead> CatalogStream<R> {
     }
 
     fn new_wtrcat(mut input: R) -> Result<Self, IoError> {
-        // Read the structure-delimited header region (fixed fields plus
-        // the length-prefixed table strings), then hand the bytes to the
-        // wire parser — one source of truth for validation.
-        // magic | window_days u32 | rows u64 | chunks u32 | table_len u32.
-        let mut raw = read_exact_vec(&mut input, wire::CAT_MAGIC.len() + 4 + 8 + 4 + 4, "header")?;
-        let table_len =
-            u32::from_le_bytes(raw[raw.len() - 4..].try_into().expect("4 bytes")) as usize;
-        for _ in 0..table_len {
+        // Validation order is load-bearing: the fixed region — magic
+        // first, then the rows/chunks consistency check — is parsed and
+        // rejected *before* any length field out of it drives a read
+        // loop. Only then are the table strings pulled in (each read
+        // bounded by the input's actual remaining bytes, see
+        // `read_exact_vec`) and the accumulated region re-parsed by the
+        // wire decoder — one source of truth for table validation.
+        let mut raw = read_exact_vec(&mut input, wire::CAT_FIXED_LEN, "header")?;
+        let fixed = wire::decode_catalog_fixed(&mut &raw[..])
+            .map_err(|e| IoError::BadHeader(e.to_string()))?;
+        let rows = usize::try_from(fixed.rows)
+            .map_err(|_| IoError::BadHeader("declared row count overflows usize".into()))?;
+        for _ in 0..fixed.table_len {
             let len_bytes = read_exact_vec(&mut input, 2, "APN string length")?;
             let len = u16::from_le_bytes(len_bytes[..].try_into().expect("2 bytes")) as usize;
             raw.extend_from_slice(&len_bytes);
@@ -473,7 +614,7 @@ impl<R: BufRead> CatalogStream<R> {
             window_days: header.window_days,
             declared_rows,
             rows_seen: 0,
-            chunk_len: par::chunk_size(usize::try_from(declared_rows).unwrap_or(usize::MAX)),
+            chunk_len: par::chunk_size(rows),
             pending: Vec::new(),
             exhausted: false,
         })
@@ -666,6 +807,7 @@ pub fn read_truth<R: BufRead>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::FastParse;
     use wtr_model::ids::{Plmn, Tac};
     use wtr_model::roaming::RoamingLabel;
     use wtr_model::time::{Day, SimTime};
@@ -706,6 +848,78 @@ mod tests {
                 },
             })
             .collect()
+    }
+
+    #[test]
+    #[ignore = "profiling harness, run by hand with --release"]
+    fn profile_read_catalog_stages() {
+        // Synthetic analysis-scale catalog: ~40k rows shaped like the
+        // 2500x22 fixture (2 APNs, ~6 sectors, full hourly, mobility).
+        let mut cat = DevicesCatalog::new(22);
+        let apns: Vec<_> = (0..200)
+            .map(|i| cat.intern_apn(&format!("apn{i}.example.com.mnc004.mcc204.gprs")))
+            .collect();
+        for user in 0..2_000u64 {
+            for day in 0..20u32 {
+                let row = cat.row_mut(
+                    user,
+                    Day(day),
+                    Plmn::of(204, 4),
+                    Tac::new(35_000_000).unwrap(),
+                    RoamingLabel::IH,
+                );
+                row.events = 100 + user;
+                row.bytes_up = 100 * user;
+                row.apns.insert(apns[(user % 200) as usize]);
+                row.apns.insert(apns[((user + 7) % 200) as usize]);
+                for s in 0..6u64 {
+                    row.sector_set.insert(user * 31 + s);
+                }
+                row.visited.insert(23430);
+                for h in 0..24 {
+                    row.hourly[h] = (user as u32 + h as u32) % 50;
+                }
+                row.mobility = MobilityAccum::from_parts([
+                    10.0,
+                    51.5 * 10.0,
+                    -0.1 * 10.0,
+                    51.5 * 51.5 * 10.0,
+                    0.01 * 10.0,
+                ]);
+            }
+        }
+        let mut jsonl = Vec::new();
+        write_catalog(&mut jsonl, &cat).unwrap();
+        eprintln!("rows {} bytes {}", cat.len(), jsonl.len());
+        let text = std::str::from_utf8(&jsonl[..]).unwrap();
+        let body = &text[text.find('\n').unwrap() + 1..];
+        let numbered = numbered_line_slices(body, 2);
+        let t = std::time::Instant::now();
+        let mut n = 0usize;
+        for (_, line) in &numbered {
+            n += usize::from(CatalogRowWire::fast_parse(line).is_some());
+        }
+        eprintln!(
+            "fast_parse only: {:?} ({n}/{} hit)",
+            t.elapsed(),
+            numbered.len()
+        );
+        let t = std::time::Instant::now();
+        let wires: Vec<CatalogRowWire> = parse_lines(&numbered).unwrap();
+        eprintln!("parse_lines(fast): {:?}", t.elapsed());
+        let t = std::time::Instant::now();
+        let _w2: Vec<CatalogRowWire> = parse_lines_serde(&numbered).unwrap();
+        eprintln!("parse_lines(serde): {:?}", t.elapsed());
+        let t = std::time::Instant::now();
+        let mut rebuilt = DevicesCatalog::new(22);
+        for wire in wires {
+            wire.install(&mut rebuilt);
+        }
+        eprintln!("install: {:?}", t.elapsed());
+        let t = std::time::Instant::now();
+        let back = read_catalog(&jsonl[..]).unwrap();
+        eprintln!("read_catalog total: {:?}", t.elapsed());
+        assert_eq!(back.len(), cat.len());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod io;
 pub mod m2m;
 pub mod mno;
 pub mod records;
+mod scan;
 pub mod wire;
 
 pub use catalog::{CatalogEntry, DevicesCatalog};

@@ -501,10 +501,34 @@ pub struct CatalogHeaderBin {
     pub table: ApnTable,
 }
 
-/// Parses the `WTRCAT` magic, fixed header fields and canonical APN
-/// table from the front of `buf`, advancing `buf` past them (to the
-/// first chunk frame).
-pub fn decode_catalog_header(buf: &mut &[u8]) -> Result<CatalogHeaderBin, ParseError> {
+/// Byte length of the fixed `WTRCAT` header region: magic, window
+/// length, row count, chunk count, APN-table length. Everything after
+/// it is length-prefixed (table strings, then chunk frames).
+pub const CAT_FIXED_LEN: usize = CAT_MAGIC.len() + 4 + 8 + 4 + 4;
+
+/// The fixed-size leading fields of a `WTRCAT` header, validated
+/// **before** any of its length fields are trusted — see
+/// [`decode_catalog_fixed`].
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogFixed {
+    /// Length of the observation window in days.
+    pub window_days: u32,
+    /// Total row count declared by the header.
+    pub rows: u64,
+    /// Number of row-group chunks that follow the header.
+    pub chunks: u32,
+    /// Number of APN-table strings between the fixed region and the
+    /// first chunk frame.
+    pub table_len: u32,
+}
+
+/// Parses and validates the fixed header region from the front of
+/// `buf`, advancing past it. The magic is checked **first**, and the
+/// declared row count must be consistent with the chunk count
+/// (`rows.div_ceil(CAT_CHUNK_ROWS) == chunks`, the encoder's invariant)
+/// — so a corrupt or mis-sniffed file is rejected here, before any
+/// reader loops on a hostile length field.
+pub fn decode_catalog_fixed(buf: &mut &[u8]) -> Result<CatalogFixed, ParseError> {
     let magic = take(buf, CAT_MAGIC.len(), "catalog header")?;
     if magic != CAT_MAGIC {
         return Err(ParseError::BadApn {
@@ -518,7 +542,46 @@ pub fn decode_catalog_header(buf: &mut &[u8]) -> Result<CatalogHeaderBin, ParseE
             .expect("length checked"),
     );
     let chunks = get_u32_le(buf, "chunk count")?;
-    let table_len = get_u32_le(buf, "APN table length")? as usize;
+    let table_len = get_u32_le(buf, "APN table length")?;
+    if rows.div_ceil(CAT_CHUNK_ROWS as u64) != u64::from(chunks) {
+        return Err(ParseError::BadLength {
+            what: "chunk count",
+            expected: "row count / chunk size",
+            found: chunks as usize,
+        });
+    }
+    Ok(CatalogFixed {
+        window_days,
+        rows,
+        chunks,
+        table_len,
+    })
+}
+
+/// Parses the `WTRCAT` magic, fixed header fields and canonical APN
+/// table from the front of `buf`, advancing `buf` past them (to the
+/// first chunk frame). Validation order is hardened: the fixed region
+/// ([`decode_catalog_fixed`]) is checked before the table length is
+/// used to drive any loop.
+pub fn decode_catalog_header(buf: &mut &[u8]) -> Result<CatalogHeaderBin, ParseError> {
+    let fixed = decode_catalog_fixed(buf)?;
+    let CatalogFixed {
+        window_days,
+        rows,
+        chunks,
+        table_len,
+    } = fixed;
+    let table_len = table_len as usize;
+    // Every table entry costs at least its 2-byte length prefix, so the
+    // declared count is capped by the bytes that actually remain —
+    // rejecting a hostile length before the loop, not during it.
+    if table_len > buf.len() / 2 {
+        return Err(ParseError::BadLength {
+            what: "APN table length",
+            expected: "at most remaining bytes / 2",
+            found: table_len,
+        });
+    }
     let mut table = ApnTable::new();
     let mut prev: Option<&str> = None;
     for _ in 0..table_len {

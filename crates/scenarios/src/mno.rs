@@ -48,6 +48,7 @@ use wtr_radio::sector::GridSpacing;
 use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
 use wtr_sim::engine::EngineStats;
 use wtr_sim::mobility::MobilityModel;
+use wtr_sim::par;
 use wtr_sim::rng::SubstreamRng;
 use wtr_sim::shard;
 use wtr_sim::stream::EventBatcher;
@@ -185,7 +186,8 @@ impl MnoScenario {
     /// population splits into `shards` contiguous shards
     /// ([`wtr_sim::par::split_ranges`]), each runs its own engine with a
     /// shard-local probe behind a shard-local [`LossySink`], and the
-    /// shard probes merge left-to-right with `MnoProbe::absorb` followed
+    /// shard probes merge in shard order — a parallel tree reduction
+    /// over `MnoProbe::absorb` (see [`merge_shard_probes`]) — followed
     /// by APN-symbol canonicalization. `shards == 1` *is* the serial
     /// path: one engine, inline on the calling thread.
     ///
@@ -294,20 +296,16 @@ impl MnoScenario {
             );
             RoamingWorld::new(directory.clone(), Box::new(policy.clone()), lossy, cfg.seed)
         });
-        // Merge the shard probes left-to-right (shard order), then
-        // canonicalize APN symbols: the only interleaving-dependent state
-        // is the intern order, which canonicalization erases.
+        // Merge the shard probes in shard order, then canonicalize APN
+        // symbols: the only interleaving-dependent state is the intern
+        // order, which canonicalization erases.
         let mut shard_stats = Vec::with_capacity(results.len());
-        let mut merged: Option<MnoProbe> = None;
+        let mut shard_probes = Vec::with_capacity(shard_stats.capacity());
         for (world, stats) in results {
             shard_stats.push(stats);
-            let shard_probe = unwrap(world.sink.into_inner());
-            match &mut merged {
-                None => merged = Some(shard_probe),
-                Some(m) => m.absorb(shard_probe),
-            }
+            shard_probes.push(unwrap(world.sink.into_inner()));
         }
-        let mut probe = merged.expect("at least one shard");
+        let mut probe = merge_shard_probes(shard_probes);
         probe.canonicalize();
         let record_counts = (
             probe.radio_event_count(),
@@ -326,6 +324,41 @@ impl MnoScenario {
             shard_stats,
         }
     }
+}
+
+/// Merges per-shard probes (in shard order) into one.
+///
+/// The merge is a balanced binary [`par::tree_reduce`] over
+/// `MnoProbe::absorb`: `O(log K)` levels of pairwise merges instead of a
+/// serial `K`-step left fold, with each level's pairs absorbed on scoped
+/// worker threads. The result is byte-identical to the serial fold at
+/// any thread count: shard probes tap disjoint device populations, so
+/// catalog rows never collide across shards (no floating-point
+/// regrouping), record vectors concatenate in shard order under any
+/// ordered tree, counters are additive, and the APN intern order any
+/// ordered tree produces is erased by the canonicalization pass that
+/// follows. `tests/shard_determinism.rs` pins both the golden digest
+/// and serial-vs-tree equality.
+///
+/// Setting `WTR_SERIAL_MERGE=1` forces the serial left fold — the
+/// reference path for equivalence tests and merge-ablation benches.
+pub fn merge_shard_probes(probes: Vec<MnoProbe>) -> MnoProbe {
+    let serial = std::env::var("WTR_SERIAL_MERGE").is_ok_and(|v| v == "1");
+    if serial {
+        let mut merged: Option<MnoProbe> = None;
+        for probe in probes {
+            match &mut merged {
+                None => merged = Some(probe),
+                Some(m) => m.absorb(probe),
+            }
+        }
+        return merged.expect("at least one shard");
+    }
+    par::tree_reduce(probes, |mut left, right| {
+        left.absorb(right);
+        left
+    })
+    .expect("at least one shard")
 }
 
 /// Internal helper assembling the device population.

@@ -1,0 +1,322 @@
+//! Decode hardening: corrupt catalog inputs must fail with an
+//! [`IoError`], never panic and never allocate unboundedly, in both
+//! storage formats (JSONL and `WTRCAT`) and on both the materialized
+//! and the streaming readers.
+//!
+//! Plus the scanner fallback contract: the schema-specialized JSONL
+//! fast path ([`io::read_catalog`] / [`io::read_transactions`]) must be
+//! observationally identical to the serde-only reference readers
+//! ([`io::read_catalog_serde`] / [`io::read_transactions_serde`]) — on
+//! valid input the same value, on invalid input the same error message
+//! and line number.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use where_things_roam::model::ids::{Mcc, Mnc, Plmn, Tac};
+use where_things_roam::model::rat::{RadioFlags, RatSet};
+use where_things_roam::model::roaming::RoamingLabel;
+use where_things_roam::model::time::{Day, SimTime};
+use where_things_roam::probes::catalog::{DevicesCatalog, MobilityAccum};
+use where_things_roam::probes::io::{self, IoError};
+use where_things_roam::probes::records::{M2mMessageType, M2mTransaction};
+use where_things_roam::probes::wire;
+use where_things_roam::sim::events::ProcedureResult;
+use where_things_roam::sim::stream::RecordStream;
+
+/// A deterministic catalog parameterized by proptest rows, populating
+/// every field the row codec carries (floats, sets, flags, histogram)
+/// so corruption and equivalence sweeps exercise every decode branch.
+fn build_catalog(rows: &[(u8, u8, u8, u16)]) -> DevicesCatalog {
+    let mut cat = DevicesCatalog::new(5);
+    let meter = cat.intern_apn("smhp.centricaplc.com.mnc004.mcc204.gprs");
+    let car = cat.intern_apn("fleet.scania.com.mnc002.mcc262.gprs");
+    let tac = Tac::new(35_000_000).unwrap();
+    for &(user, day, kind, events) in rows {
+        let (plmn, label) = match kind % 3 {
+            0 => (Plmn::of(204, 4), RoamingLabel::IH),
+            1 => (
+                Plmn::new(Mcc::new(310).unwrap(), Mnc::new3(410).unwrap()),
+                RoamingLabel::HH,
+            ),
+            _ => (Plmn::of(262, 2), RoamingLabel::IH),
+        };
+        let r = cat.row_mut(u64::from(user), Day(u32::from(day % 5)), plmn, tac, label);
+        r.events += u64::from(events);
+        r.failed_events += u64::from(kind % 2);
+        r.bytes_up += u64::from(events) * 100;
+        r.bytes_down += u64::from(events) * 17;
+        r.calls += u64::from(kind % 4);
+        r.visited.insert(u32::from(user) + 200_000);
+        r.sector_set.insert(u64::from(events) * 31);
+        r.radio_flags.merge(RadioFlags {
+            any: RatSet::from_bits(1 + kind % 15),
+            data: RatSet::from_bits(kind % 4),
+            voice: RatSet::EMPTY,
+        });
+        r.hourly[usize::from(day % 24)] += u32::from(events);
+        r.in_designated_range = kind % 5 == 0;
+        r.in_published_m2m_range = kind % 7 == 0;
+        r.mobility = MobilityAccum::from_parts([
+            f64::from(events),
+            51.5 * f64::from(events),
+            -0.1 * f64::from(events),
+            51.5 * 51.5 * f64::from(events),
+            0.01 * f64::from(events),
+        ]);
+        if kind % 3 == 0 {
+            r.apns.insert(meter);
+        } else {
+            r.apns.insert(car);
+        }
+    }
+    cat
+}
+
+fn transactions(n: u8) -> Vec<M2mTransaction> {
+    (0..u64::from(n))
+        .map(|i| M2mTransaction {
+            device: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            time: SimTime::from_secs(i * 301),
+            sim_plmn: Plmn::of(214, 7),
+            visited_plmn: Plmn::new(Mcc::new(310).unwrap(), Mnc::new3(410).unwrap()),
+            message: match i % 3 {
+                0 => M2mMessageType::Authentication,
+                1 => M2mMessageType::UpdateLocation,
+                _ => M2mMessageType::CancelLocation,
+            },
+            result: match i % 5 {
+                0 => ProcedureResult::Ok,
+                1 => ProcedureResult::RoamingNotAllowed,
+                2 => ProcedureResult::UnknownSubscription,
+                3 => ProcedureResult::FeatureUnsupported,
+                _ => ProcedureResult::NetworkFailure,
+            },
+        })
+        .collect()
+}
+
+fn jsonl_bytes(cat: &DevicesCatalog) -> Vec<u8> {
+    let mut buf = Vec::new();
+    io::write_catalog(&mut buf, cat).unwrap();
+    buf
+}
+
+fn wtrcat_bytes(cat: &DevicesCatalog) -> Vec<u8> {
+    let mut buf = Vec::new();
+    io::write_catalog_bin(&mut buf, cat).unwrap();
+    buf
+}
+
+/// Drives every reader over `bytes`; each must return (not panic), and
+/// the streaming reader must terminate.
+fn decode_all_paths(bytes: &[u8]) -> Vec<Result<(), String>> {
+    let mut outcomes = Vec::new();
+    outcomes.push(
+        io::read_catalog_auto(bytes)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+    );
+    match io::CatalogStream::new(bytes) {
+        Err(e) => outcomes.push(Err(e.to_string())),
+        Ok(mut stream) => {
+            let streamed = loop {
+                match stream.next_chunk() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break stream.finish().map(|_| ()),
+                    Err(e) => break Err(e),
+                }
+            };
+            outcomes.push(streamed.map_err(|e| e.to_string()));
+        }
+    }
+    outcomes
+}
+
+/// Compares the fast-path and serde-only catalog readers on one input:
+/// same success (byte-identical re-export) or same error string.
+fn assert_catalog_readers_agree(bytes: &[u8]) {
+    let fast = io::read_catalog(bytes);
+    let slow = io::read_catalog_serde(bytes);
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => assert_eq!(jsonl_bytes(&a), jsonl_bytes(&b)),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (fast, slow) => panic!(
+            "readers disagree: fast={:?} serde={:?}",
+            fast.map(|c| c.len()),
+            slow.map(|c| c.len())
+        ),
+    }
+}
+
+proptest! {
+    /// Truncating a valid WTRCAT file anywhere must produce an error
+    /// from every reader — promptly and panic-free.
+    #[test]
+    fn wtrcat_truncations_error_cleanly(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..40),
+        cut in 0usize..10_000,
+    ) {
+        let bytes = wtrcat_bytes(&build_catalog(&rows));
+        let cut = cut % bytes.len();
+        for outcome in decode_all_paths(&bytes[..cut]) {
+            prop_assert!(outcome.is_err(), "truncation at {cut} must not decode");
+        }
+    }
+
+    /// Flipping any byte of a valid WTRCAT file must never panic or
+    /// hang; whatever still decodes decodes to *something* bounded.
+    #[test]
+    fn wtrcat_bit_flips_never_panic(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..40),
+        at in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = wtrcat_bytes(&build_catalog(&rows));
+        let at = at % bytes.len();
+        bytes[at] ^= xor;
+        // Outcome (Ok for benign flips, Err otherwise) is unconstrained;
+        // returning at all is the property.
+        let _ = decode_all_paths(&bytes);
+    }
+
+    /// JSONL: truncations and byte flips must never panic either path,
+    /// and the fast-path reader must agree with serde exactly.
+    #[test]
+    fn jsonl_corruption_never_panics_and_readers_agree(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 1..40),
+        cut in 0usize..10_000,
+        at in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let bytes = jsonl_bytes(&build_catalog(&rows));
+        let cut = cut % bytes.len();
+        assert_catalog_readers_agree(&bytes[..cut]);
+        let mut flipped = bytes.clone();
+        let at = at % flipped.len();
+        flipped[at] ^= xor;
+        assert_catalog_readers_agree(&flipped);
+        let _ = decode_all_paths(&flipped);
+    }
+
+    /// Valid catalogs parse identically through the scanner and serde.
+    #[test]
+    fn scanner_matches_serde_on_valid_catalogs(
+        rows in prop::collection::vec((0u8..40, 0u8..5, 0u8..6, 1u16..500), 0..60),
+    ) {
+        let cat = build_catalog(&rows);
+        let bytes = jsonl_bytes(&cat);
+        let fast = io::read_catalog(&bytes[..]).unwrap();
+        let slow = io::read_catalog_serde(&bytes[..]).unwrap();
+        prop_assert_eq!(jsonl_bytes(&fast), jsonl_bytes(&slow));
+        prop_assert_eq!(jsonl_bytes(&fast), bytes);
+    }
+
+    /// Valid transaction logs parse identically; corrupted ones report
+    /// the same line number and message through both readers.
+    #[test]
+    fn scanner_matches_serde_on_transactions(
+        n in 1u8..60,
+        at in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let txs = transactions(n);
+        let mut buf = Vec::new();
+        io::write_transactions(&mut buf, &txs).unwrap();
+        let fast = io::read_transactions(&buf[..]).unwrap();
+        let slow = io::read_transactions_serde(&buf[..]).unwrap();
+        prop_assert_eq!(&fast, &txs);
+        prop_assert_eq!(&slow, &txs);
+        let at = at % buf.len();
+        buf[at] ^= xor;
+        match (io::read_transactions(&buf[..]), io::read_transactions_serde(&buf[..])) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "readers disagree: fast ok={} serde ok={}",
+                    a.is_ok(), b.is_ok()
+                )));
+            }
+        }
+    }
+}
+
+// -----------------------------------------------------------------------
+// Targeted regressions for the hardened header-validation order.
+// -----------------------------------------------------------------------
+
+/// Patch helper: a minimal WTRCAT fixed header region.
+fn fixed_header(window_days: u32, rows: u64, chunks: u32, table_len: u32) -> Vec<u8> {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(wire::CAT_MAGIC);
+    raw.extend_from_slice(&window_days.to_le_bytes());
+    raw.extend_from_slice(&rows.to_le_bytes());
+    raw.extend_from_slice(&chunks.to_le_bytes());
+    raw.extend_from_slice(&table_len.to_le_bytes());
+    raw
+}
+
+/// A header declaring ~4.3B table strings with no bytes behind it must
+/// be rejected immediately — not after billions of 2-byte reads or an
+/// unbounded allocation.
+#[test]
+fn huge_table_len_is_rejected_promptly() {
+    let bytes = fixed_header(5, 0, 0, u32::MAX);
+    assert!(matches!(
+        io::read_catalog_bin(&bytes[..]),
+        Err(IoError::BadHeader(_))
+    ));
+    // The streaming reader hits EOF on the first table read.
+    assert!(io::CatalogStream::new(&bytes[..]).is_err());
+}
+
+/// A declared row count inconsistent with the chunk count (the hostile
+/// `chunk_len` input of old) must surface as `BadHeader` before any
+/// chunk sizing happens.
+#[test]
+fn inconsistent_rows_and_chunks_are_rejected() {
+    for (rows, chunks) in [(u64::MAX, 1u32), (1, 0), (0, 1), (4097, 1), (1, 2)] {
+        let bytes = fixed_header(5, rows, chunks, 0);
+        assert!(
+            matches!(io::read_catalog_bin(&bytes[..]), Err(IoError::BadHeader(_))),
+            "rows={rows} chunks={chunks}"
+        );
+        assert!(
+            io::CatalogStream::new(&bytes[..]).is_err(),
+            "stream: rows={rows} chunks={chunks}"
+        );
+    }
+}
+
+/// A chunk frame declaring a ~4GB body on a short file must error with
+/// a truncation, not pre-allocate the declared length.
+#[test]
+fn huge_chunk_byte_len_does_not_preallocate() {
+    let cat = build_catalog(&[(1, 0, 0, 10)]);
+    let mut bytes = wtrcat_bytes(&cat);
+    // The first chunk frame starts right after the fixed region plus
+    // the two table strings; find it by re-walking the header.
+    let mut slice = &bytes[..];
+    wire::decode_catalog_header(&mut slice).unwrap();
+    let frame_at = bytes.len() - slice.len();
+    bytes[frame_at..frame_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut stream = io::CatalogStream::new(&bytes[..]).unwrap();
+    let err = loop {
+        match stream.next_chunk() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("corrupt frame must not stream to completion"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, IoError::Io(_)), "got {err}");
+}
+
+/// The magic is validated before anything else: a non-WTRCAT binary
+/// blob with hostile bytes in the length positions never drives a loop.
+#[test]
+fn bad_magic_rejected_before_lengths_are_trusted() {
+    let mut bytes = fixed_header(5, 0, 0, u32::MAX);
+    bytes[0] ^= 0xFF;
+    let mut slice = &bytes[..];
+    assert!(wire::decode_catalog_fixed(&mut slice).is_err());
+}

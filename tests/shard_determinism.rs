@@ -39,8 +39,9 @@ use where_things_roam::sim::events::{
 };
 use where_things_roam::sim::world::{EventSink, VecSink};
 
-/// Shard counts in the matrix (serial reference + uneven splits).
-const SHARDS: [usize; 3] = [1, 2, 8];
+/// Shard counts in the matrix (serial reference + uneven splits; 3
+/// exercises the unpaired tail of the tree-reduction merge).
+const SHARDS: [usize; 4] = [1, 2, 3, 8];
 
 // ---------------------------------------------------------------------
 // Golden anchors, captured from the engine *before* the dispatch-order
@@ -149,6 +150,29 @@ fn catalog_bytes_match_pre_shard_golden_anchor() {
     assert_eq!(digest(&jsonl), OLD_CATALOG_JSONL_DIGEST);
     assert_eq!(out.record_counts, OLD_RECORD_COUNTS);
     assert_eq!(out.catalog.len(), OLD_CATALOG_ROWS);
+}
+
+#[test]
+fn tree_merge_matches_serial_left_fold() {
+    // The tree-reduction merge tail must be byte-identical to the
+    // serial shard-order left fold it replaced: shard probes tap
+    // disjoint device populations, so `absorb` never regroups floats
+    // across shards and the reduction shape cannot show through. The
+    // `WTR_SERIAL_MERGE=1` knob forces the old fold; both runs below
+    // use an odd shard count so the tree has an unpaired tail. Other
+    // tests in this binary may run while the variable is set — that is
+    // fine, because equality of the two paths is exactly the property
+    // under test.
+    let config = scenario_config(0.03);
+    std::env::set_var("WTR_SERIAL_MERGE", "1");
+    let serial = MnoScenario::new(config.clone()).run_sharded(3);
+    std::env::remove_var("WTR_SERIAL_MERGE");
+    let tree = MnoScenario::new(config).run_sharded(3);
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&tree),
+        "tree-reduction merge diverged from the serial shard fold"
+    );
 }
 
 #[test]

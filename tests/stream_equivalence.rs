@@ -36,8 +36,9 @@ use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig};
 use where_things_roam::sim::par;
 use where_things_roam::sim::stream::ChunkFold;
 
-/// Thread counts in the matrix (serial reference + uneven assignments).
-const MATRIX: [usize; 3] = [1, 2, 8];
+/// Thread counts in the matrix (serial reference + uneven assignments;
+/// 3 exercises unpaired tails in the tree-shaped reductions).
+const MATRIX: [usize; 4] = [1, 2, 3, 8];
 
 /// `par::set_threads` is process-global; serialize the tests that
 /// mutate it.
@@ -149,6 +150,32 @@ fn streamed_ingest_matches_materialized() {
         }
     }
     par::set_threads(None);
+}
+
+#[test]
+fn fast_scanner_read_matches_serde_read() {
+    // The zero-copy JSONL scanner is an ingest fast path with a serde
+    // fallback; on a real simulated catalog (every row canonical) it
+    // must produce the exact catalog the serde-only reader does, down
+    // to APN symbol numbering and re-exported bytes.
+    let output = MnoScenario::new(scenario_config()).run();
+    let mut jsonl = Vec::new();
+    io::write_catalog(&mut jsonl, &output.catalog).unwrap();
+
+    let fast = io::read_catalog(jsonl.as_slice()).unwrap();
+    let serde_only = io::read_catalog_serde(jsonl.as_slice()).unwrap();
+    let export = |cat: &DevicesCatalog| {
+        let mut bytes = Vec::new();
+        io::write_catalog(&mut bytes, cat).unwrap();
+        io::write_catalog_bin(&mut bytes, cat).unwrap();
+        bytes
+    };
+    assert_eq!(export(&fast), export(&serde_only));
+    assert_eq!(export(&fast), {
+        let mut bytes = jsonl.clone();
+        io::write_catalog_bin(&mut bytes, &output.catalog).unwrap();
+        bytes
+    });
 }
 
 #[test]
