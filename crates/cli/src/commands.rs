@@ -120,11 +120,17 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         (true, Some(k)) => scenario.run_streaming_sharded(k),
     };
     let stats = output.engine_stats();
+    // "peak queue depth" is the deepest single event loop actually got
+    // (`peak_queue_max`); shard peaks need not coincide in time, so the
+    // parenthesized cross-shard sum is only an upper bound on the
+    // concurrent total.
     eprintln!(
-        "simulated on {} shard(s): {} agents, {} wake-ups dispatched, peak queue depth {}",
+        "simulated on {} shard(s): {} agents, {} wake-ups dispatched, \
+         peak queue depth {} (sum across shards {})",
         output.shard_stats.len(),
         stats.agents,
         stats.dispatched,
+        stats.peak_queue_max,
         stats.peak_queue
     );
     let mut out = open_out(out_path)?;
@@ -228,6 +234,16 @@ pub fn simulate_platform(argv: &[String]) -> Result<(), String> {
         config.devices, config.days, config.seed
     );
     let output = M2mScenario::new(config).run();
+    let stats = output.engine_stats();
+    eprintln!(
+        "simulated on {} shard(s): {} agents, {} wake-ups dispatched, \
+         peak queue depth {} (sum across shards {})",
+        output.shard_stats.len(),
+        stats.agents,
+        stats.dispatched,
+        stats.peak_queue_max,
+        stats.peak_queue
+    );
     let mut out = open_out(out_path)?;
     probe_io::write_transactions(&mut out, &output.transactions).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;

@@ -83,6 +83,25 @@ pub struct M2mScenarioOutput {
     pub devices: usize,
     /// Window length.
     pub days: u32,
+    /// Per-shard engine statistics in shard order, mirroring
+    /// `MnoScenarioOutput::shard_stats` (see that field for the
+    /// `peak_queue` sum-vs-max semantics).
+    pub shard_stats: Vec<wtr_sim::engine::EngineStats>,
+}
+
+impl M2mScenarioOutput {
+    /// Sum of the per-shard engine statistics ([`EngineStats::absorb`]:
+    /// counters add, queue peaks keep both the sum and the per-shard
+    /// max).
+    ///
+    /// [`EngineStats::absorb`]: wtr_sim::engine::EngineStats::absorb
+    pub fn engine_stats(&self) -> wtr_sim::engine::EngineStats {
+        let mut total = wtr_sim::engine::EngineStats::default();
+        for s in &self.shard_stats {
+            total.absorb(s);
+        }
+        total
+    }
 }
 
 /// The §3 scenario builder/runner.
@@ -226,8 +245,10 @@ impl M2mScenario {
             RoamingWorld::new(directory.clone(), Box::new(policy.clone()), probe, cfg.seed)
         });
         let mut transactions: Vec<M2mTransaction> = Vec::new();
-        for (world, _stats) in results {
+        let mut shard_stats = Vec::with_capacity(results.len());
+        for (world, stats) in results {
             transactions.extend(world.sink.transactions);
+            shard_stats.push(stats);
         }
         transactions.sort_by_key(|t| (t.time, t.device));
         M2mScenarioOutput {
@@ -235,6 +256,7 @@ impl M2mScenario {
             ground_truth,
             devices: cfg.devices,
             days: cfg.days,
+            shard_stats,
         }
     }
 

@@ -128,7 +128,11 @@ pub struct MnoScenarioOutput {
 }
 
 impl MnoScenarioOutput {
-    /// Sum of the per-shard engine statistics.
+    /// Sum of the per-shard engine statistics ([`EngineStats::absorb`]).
+    /// Counters are additive across shards; for the queue high-water
+    /// mark the total carries both `peak_queue` (cross-shard sum, an
+    /// upper bound on concurrent depth) and `peak_queue_max` (deepest
+    /// single event loop — the figure the CLI summary prints).
     pub fn engine_stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for s in &self.shard_stats {

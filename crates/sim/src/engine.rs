@@ -23,6 +23,7 @@
 //! wakes), the two orders dispatch the *same multiset* of wake-ups — only
 //! the interleaving between different agents changes.
 
+use crate::calendar::{CalendarQueue, Key};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use wtr_model::time::SimTime;
@@ -36,6 +37,65 @@ pub struct AgentId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WakeTag(pub u32);
 
+/// Which event-queue implementation a [`Scheduler`] runs on. Both
+/// dispatch the identical `(time, agent, per-agent seq, tag)` total
+/// order — the choice is purely a performance/ablation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The calendar queue (`crate::calendar`): O(1) amortized push/pop
+    /// via time buckets with a lazy per-window sort. The default.
+    Calendar,
+    /// The original `BinaryHeap`: O(log n) per operation. Kept as the
+    /// reference implementation behind the `WTR_HEAP_SCHED=1` knob
+    /// (mirroring `WTR_SERIAL_MERGE`) for equivalence tests and the
+    /// scheduler-ablation benches.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Resolves the kind from the environment: `WTR_HEAP_SCHED=1` forces
+    /// the heap, anything else selects the calendar queue.
+    pub fn from_env() -> Self {
+        if std::env::var("WTR_HEAP_SCHED").is_ok_and(|v| v == "1") {
+            SchedulerKind::Heap
+        } else {
+            SchedulerKind::Calendar
+        }
+    }
+}
+
+/// The two queue backends. Pop order is identical; see [`SchedulerKind`].
+#[derive(Debug)]
+enum QueueImpl {
+    Heap(BinaryHeap<Reverse<Key>>),
+    Calendar(CalendarQueue),
+}
+
+impl QueueImpl {
+    #[inline]
+    fn push(&mut self, key: Key) {
+        match self {
+            QueueImpl::Heap(h) => h.push(Reverse(key)),
+            QueueImpl::Calendar(c) => c.push(key),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            QueueImpl::Heap(h) => h.pop().map(|Reverse(k)| k),
+            QueueImpl::Calendar(c) => c.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Heap(h) => h.len(),
+            QueueImpl::Calendar(c) => c.len(),
+        }
+    }
+}
+
 /// The scheduling interface handed to agents.
 ///
 /// Only self-scheduling is exposed: an agent cannot wake another agent,
@@ -47,11 +107,15 @@ pub struct WakeTag(pub u32);
 pub struct Scheduler {
     now: SimTime,
     horizon: SimTime,
+    kind: SchedulerKind,
     /// Per-agent wake-up counters: `seqs[agent]` is the number of
-    /// wake-ups agent `agent` has scheduled so far. Grown on demand.
+    /// wake-ups agent `agent` has scheduled so far. Pre-sized from the
+    /// agent population by [`Scheduler::prepare`]; the grow-on-demand
+    /// fallback in [`Scheduler::wake_at`] is a cold path kept for
+    /// robustness only.
     seqs: Vec<u64>,
-    /// Min-heap on `(time, agent, per-agent seq, tag)`.
-    queue: BinaryHeap<Reverse<(SimTime, u32, u64, u32)>>,
+    /// Pending wake-ups, keyed `(time, agent, per-agent seq, tag)`.
+    queue: QueueImpl,
     /// Total wake-ups accepted (past/post-horizon ones excluded).
     scheduled: u64,
     /// High-water mark of the queue depth.
@@ -59,15 +123,48 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    fn new(horizon: SimTime) -> Self {
+    fn new(horizon: SimTime, kind: SchedulerKind) -> Self {
+        let queue = match kind {
+            SchedulerKind::Heap => QueueImpl::Heap(BinaryHeap::new()),
+            SchedulerKind::Calendar => {
+                QueueImpl::Calendar(CalendarQueue::with_capacity(0, horizon))
+            }
+        };
         Scheduler {
             now: SimTime::ZERO,
             horizon,
+            kind,
             seqs: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue,
             scheduled: 0,
             peak_queue: 0,
         }
+    }
+
+    /// Pre-sizes the per-agent sequence table and the queue (heap
+    /// capacity / calendar ring) for `agents` agents. Steady state for
+    /// device-style populations is about one pending wake-up per agent,
+    /// so sizing from the population avoids both the doubling
+    /// reallocations and the early calendar-ring resizes during the init
+    /// burst. Called by the engine before any agent is initialized.
+    fn prepare(&mut self, agents: usize) {
+        debug_assert_eq!(self.scheduled, 0, "prepare after wake-ups were scheduled");
+        self.seqs.clear();
+        self.seqs.resize(agents, 0);
+        match &mut self.queue {
+            QueueImpl::Heap(h) => h.reserve(agents),
+            QueueImpl::Calendar(c) if c.len() == 0 => {
+                *c = CalendarQueue::with_capacity(agents, self.horizon);
+            }
+            QueueImpl::Calendar(_) => {}
+        }
+    }
+
+    /// Cold fallback for a `wake_at` from an agent id the scheduler was
+    /// not [`prepare`](Scheduler::prepare)d for.
+    #[cold]
+    fn grow_seqs(&mut self, idx: usize) {
+        self.seqs.resize(idx + 1, 0);
     }
 
     /// Current simulation time.
@@ -89,13 +186,28 @@ impl Scheduler {
         }
         let idx = agent.0 as usize;
         if idx >= self.seqs.len() {
-            self.seqs.resize(idx + 1, 0);
+            self.grow_seqs(idx);
         }
         self.seqs[idx] += 1;
         self.scheduled += 1;
-        self.queue
-            .push(Reverse((at, agent.0, self.seqs[idx], tag.0)));
+        self.queue.push((at, agent.0, self.seqs[idx], tag.0));
         self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Pops the next wake-up in `(time, agent, per-agent seq, tag)`
+    /// order and advances the clock to it.
+    #[inline]
+    fn pop(&mut self) -> Option<Key> {
+        let key = self.queue.pop();
+        if let Some((at, _, _, _)) = key {
+            self.now = at;
+        }
+        key
+    }
+
+    /// Which queue implementation this scheduler runs on.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
     }
 
     /// Number of pending wake-ups.
@@ -137,20 +249,30 @@ pub struct EngineStats {
     /// Total wake-ups dispatched (equals `scheduled` when the run
     /// drains the queue).
     pub dispatched: u64,
-    /// High-water mark of the pending-queue depth.
+    /// Sum of the per-shard queue high-water marks. Shard queues are
+    /// independent and their peaks need not coincide in time, so this is
+    /// an *upper bound* on the concurrent total, not a high-water mark
+    /// itself; see [`EngineStats::peak_queue_max`] for the per-loop
+    /// figure. For a single engine the two are equal.
     pub peak_queue: u64,
+    /// Largest single-shard queue high-water mark — the depth some event
+    /// loop actually reached, and the number the CLI summary line
+    /// reports as "peak queue depth".
+    pub peak_queue_max: u64,
 }
 
 impl EngineStats {
     /// Adds another engine's counters into this one (used when merging
-    /// shard stats into a scenario-level total).
+    /// shard stats into a scenario-level total). Counters are additive;
+    /// the queue high-water mark keeps both the cross-shard sum
+    /// ([`EngineStats::peak_queue`], an upper bound) and the per-shard
+    /// maximum ([`EngineStats::peak_queue_max`], a depth actually seen).
     pub fn absorb(&mut self, other: &EngineStats) {
         self.agents += other.agents;
         self.scheduled += other.scheduled;
         self.dispatched += other.dispatched;
-        // Shard queues are independent heaps; the total high-water mark
-        // across concurrent loops is at most the sum.
         self.peak_queue += other.peak_queue;
+        self.peak_queue_max = self.peak_queue_max.max(other.peak_queue_max);
     }
 }
 
@@ -163,12 +285,21 @@ pub struct Engine<W, A> {
 }
 
 impl<W, A: Agent<W>> Engine<W, A> {
-    /// Creates an engine over `world` running until `horizon`.
+    /// Creates an engine over `world` running until `horizon`, on the
+    /// environment-selected scheduler ([`SchedulerKind::from_env`]:
+    /// calendar queue unless `WTR_HEAP_SCHED=1`).
     pub fn new(world: W, horizon: SimTime) -> Self {
+        Self::with_scheduler(world, horizon, SchedulerKind::from_env())
+    }
+
+    /// [`Engine::new`] with an explicit queue implementation — the
+    /// env-free knob the heap-vs-calendar equivalence tests and the
+    /// scheduler-ablation benches drive.
+    pub fn with_scheduler(world: W, horizon: SimTime, kind: SchedulerKind) -> Self {
         Engine {
             agents: Vec::new(),
             world,
-            sched: Scheduler::new(horizon),
+            sched: Scheduler::new(horizon, kind),
             dispatched: 0,
         }
     }
@@ -210,16 +341,11 @@ impl<W, A: Agent<W>> Engine<W, A> {
 
     /// [`Engine::run`], additionally returning the scheduler statistics.
     pub fn run_stats(mut self) -> (W, EngineStats) {
-        // Steady state for device-style populations is about one pending
-        // wake-up per agent; reserving up front avoids the doubling
-        // reallocations during the init burst.
-        self.sched.queue.reserve(self.agents.len());
-        self.sched.seqs.resize(self.agents.len(), 0);
+        self.sched.prepare(self.agents.len());
         for (i, agent) in self.agents.iter_mut().enumerate() {
             agent.init(AgentId(i as u32), &mut self.world, &mut self.sched);
         }
-        while let Some(Reverse((at, agent, _seq, tag))) = self.sched.queue.pop() {
-            self.sched.now = at;
+        while let Some((_, agent, _seq, tag)) = self.sched.pop() {
             self.dispatched += 1;
             self.agents[agent as usize].wake(
                 AgentId(agent),
@@ -233,6 +359,7 @@ impl<W, A: Agent<W>> Engine<W, A> {
             scheduled: self.sched.scheduled,
             dispatched: self.dispatched,
             peak_queue: self.sched.peak_queue as u64,
+            peak_queue_max: self.sched.peak_queue as u64,
         };
         (self.world, stats)
     }
@@ -377,18 +504,87 @@ mod tests {
     }
 
     #[test]
-    fn stats_absorb_is_additive() {
+    fn stats_absorb_sums_counters_and_maxes_peak() {
         let a = EngineStats {
             agents: 2,
             scheduled: 10,
             dispatched: 10,
             peak_queue: 3,
+            peak_queue_max: 3,
+        };
+        let b = EngineStats {
+            agents: 1,
+            scheduled: 4,
+            dispatched: 4,
+            peak_queue: 7,
+            peak_queue_max: 7,
         };
         let mut total = EngineStats::default();
         total.absorb(&a);
-        total.absorb(&a);
-        assert_eq!(total.agents, 4);
-        assert_eq!(total.scheduled, 20);
-        assert_eq!(total.peak_queue, 6);
+        total.absorb(&b);
+        assert_eq!(total.agents, 3);
+        assert_eq!(total.scheduled, 14);
+        // The sum is an upper bound on the concurrent total; the max is
+        // the depth a single loop actually reached.
+        assert_eq!(total.peak_queue, 10);
+        assert_eq!(total.peak_queue_max, 7);
+    }
+
+    #[test]
+    fn heap_and_calendar_dispatch_identically() {
+        let run = |kind: SchedulerKind| {
+            let mut engine = Engine::with_scheduler(Log::new(), SimTime::from_secs(2_000), kind);
+            engine.add_agent(Ticker { period: 7 });
+            engine.add_agent(Ticker { period: 13 });
+            engine.add_agent(Ticker { period: 7 });
+            engine.add_agent(Ticker { period: 1 });
+            engine.run_stats()
+        };
+        let (cal_log, cal_stats) = run(SchedulerKind::Calendar);
+        let (heap_log, heap_stats) = run(SchedulerKind::Heap);
+        assert_eq!(cal_log, heap_log, "dispatch order diverged");
+        assert_eq!(cal_stats, heap_stats);
+    }
+
+    #[test]
+    fn same_instant_reschedule_matches_heap() {
+        // An agent scheduling more wake-ups *at the instant being
+        // dispatched* exercises the calendar queue's in-window splice;
+        // the heap is the reference.
+        struct Chain {
+            budget: u32,
+        }
+        impl Agent<Log> for Chain {
+            fn init(&mut self, id: AgentId, _w: &mut Log, s: &mut Scheduler) {
+                s.wake_at(id, WakeTag(0), SimTime::from_secs(10 + u64::from(id.0)));
+            }
+            fn wake(&mut self, id: AgentId, tag: WakeTag, w: &mut Log, s: &mut Scheduler) {
+                w.push((s.now(), id.0, tag.0));
+                if tag.0 < self.budget {
+                    // Two same-instant re-schedules plus a later one.
+                    s.wake_at(id, WakeTag(tag.0 + 1), s.now());
+                    s.wake_at(id, WakeTag(tag.0 + 1), s.now() + SimDuration::from_secs(3));
+                }
+            }
+        }
+        let run = |kind: SchedulerKind| {
+            let mut engine = Engine::with_scheduler(Log::new(), SimTime::from_secs(60), kind);
+            for _ in 0..6 {
+                engine.add_agent(Chain { budget: 4 });
+            }
+            engine.run()
+        };
+        let cal = run(SchedulerKind::Calendar);
+        assert_eq!(cal, run(SchedulerKind::Heap));
+        assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn scheduler_kind_from_env_defaults_to_calendar() {
+        // Not run under WTR_HEAP_SCHED in this suite; the CI determinism
+        // job owns the env-var path end to end.
+        if std::env::var("WTR_HEAP_SCHED").is_err() {
+            assert_eq!(SchedulerKind::from_env(), SchedulerKind::Calendar);
+        }
     }
 }

@@ -18,7 +18,8 @@
 //! ## Architecture
 //!
 //! * [`engine`] — a minimal event-queue core: agents schedule wake-ups,
-//!   the engine dispatches them in time order.
+//!   the engine dispatches them in time order (calendar-queue storage by
+//!   default, the reference `BinaryHeap` behind `WTR_HEAP_SCHED=1`).
 //! * [`events`] — the simulation's observable output: signaling
 //!   transactions, data sessions, voice calls.
 //! * [`mobility`] — position-over-time models (stationary meter, commuter,
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod device;
 pub mod engine;
 pub mod events;
@@ -49,7 +51,7 @@ pub mod traffic;
 pub mod world;
 
 pub use device::{DeviceAgent, DeviceSpec, PresenceModel};
-pub use engine::{Agent, AgentId, Engine, EngineStats, Scheduler, WakeTag};
+pub use engine::{Agent, AgentId, Engine, EngineStats, Scheduler, SchedulerKind, WakeTag};
 pub use events::{
     DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall,
 };

@@ -143,13 +143,52 @@ fn catalog_bytes_match_pre_shard_golden_anchor() {
     // interleaving; each device's own event stream — and therefore the
     // loss-free catalog, whose rows are pure per-device folds — is
     // untouched. The digest below was captured from the pre-change
-    // engine.
-    let out = MnoScenario::new(scenario_config(0.0)).run_sharded(1);
-    let mut jsonl = Vec::new();
-    io::write_catalog(&mut jsonl, &out.catalog).unwrap();
-    assert_eq!(digest(&jsonl), OLD_CATALOG_JSONL_DIGEST);
-    assert_eq!(out.record_counts, OLD_RECORD_COUNTS);
-    assert_eq!(out.catalog.len(), OLD_CATALOG_ROWS);
+    // engine. The matrix runs under both `WTR_HEAP_SCHED` settings:
+    // the calendar queue (default) and the reference heap must both hit
+    // the golden digest. Other tests in this binary may run while the
+    // variable is set — that is fine, because calendar/heap equality is
+    // exactly the property under test (same argument as the
+    // `WTR_SERIAL_MERGE` knob below).
+    for heap_sched in [false, true] {
+        if heap_sched {
+            std::env::set_var("WTR_HEAP_SCHED", "1");
+        }
+        let out = MnoScenario::new(scenario_config(0.0)).run_sharded(1);
+        if heap_sched {
+            std::env::remove_var("WTR_HEAP_SCHED");
+        }
+        let mut jsonl = Vec::new();
+        io::write_catalog(&mut jsonl, &out.catalog).unwrap();
+        assert_eq!(
+            digest(&jsonl),
+            OLD_CATALOG_JSONL_DIGEST,
+            "heap_sched {heap_sched}"
+        );
+        assert_eq!(out.record_counts, OLD_RECORD_COUNTS);
+        assert_eq!(out.catalog.len(), OLD_CATALOG_ROWS);
+    }
+}
+
+#[test]
+fn heap_and_calendar_schedulers_agree_across_shard_matrix() {
+    // Stronger than the golden anchor: the *entire fingerprint* (both
+    // catalog formats, ground truth, counts, element load) must be
+    // byte-identical between the calendar queue and the reference heap
+    // at several shard counts, with loss on — the in-process twin of the
+    // CI `sim-determinism` ablation diff.
+    let config = scenario_config(0.05);
+    for &k in &[1usize, 3, 8] {
+        let calendar = MnoScenario::new(config.clone()).run_sharded(k);
+        std::env::set_var("WTR_HEAP_SCHED", "1");
+        let heap = MnoScenario::new(config.clone()).run_sharded(k);
+        std::env::remove_var("WTR_HEAP_SCHED");
+        assert_eq!(
+            fingerprint(&calendar),
+            fingerprint(&heap),
+            "calendar vs heap diverged at shards {k}"
+        );
+        assert_eq!(calendar.engine_stats(), heap.engine_stats());
+    }
 }
 
 #[test]
@@ -181,18 +220,39 @@ fn dispatch_reorder_preserved_event_multiset() {
     // tie-break: replay a small fixed world and compare the *sorted*
     // serialized events against the digest captured from the old
     // engine. Equality proves the re-anchor changed interleaving only —
-    // no event was created, lost, or altered.
-    let events = small_world::run();
-    let mut lines: Vec<String> = events
-        .iter()
-        .map(|e| serde_json::to_string(e).unwrap())
-        .collect();
-    lines.sort();
-    assert_eq!(lines.len(), 498);
+    // no event was created, lost, or altered. Runs under both
+    // `WTR_HEAP_SCHED` settings, and additionally pins the *raw
+    // emission order* of the two schedulers against each other: the
+    // calendar queue must not merely preserve the multiset, it must
+    // dispatch bit-identically to the heap.
+    let calendar = small_world::run();
+    std::env::set_var("WTR_HEAP_SCHED", "1");
+    let heap = small_world::run();
+    std::env::remove_var("WTR_HEAP_SCHED");
+    for events in [&calendar, &heap] {
+        let mut lines: Vec<String> = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect();
+        lines.sort();
+        assert_eq!(lines.len(), 498);
+        assert_eq!(
+            digest(lines.join("\n").as_bytes()),
+            OLD_EVENT_MULTISET_DIGEST,
+            "event multiset changed across the dispatch-order migration"
+        );
+    }
+    let raw = |events: &[SimEvent]| {
+        let lines: Vec<String> = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect();
+        digest(lines.join("\n").as_bytes())
+    };
     assert_eq!(
-        digest(lines.join("\n").as_bytes()),
-        OLD_EVENT_MULTISET_DIGEST,
-        "event multiset changed across the dispatch-order migration"
+        raw(&calendar),
+        raw(&heap),
+        "calendar and heap schedulers emitted different event orders"
     );
 }
 
