@@ -15,7 +15,11 @@
 //! in the same second, per Finley & Vesselkov's synchronized
 //! firmware-update signaling storms — where the heap's per-pop
 //! comparison cost is maximal (every sift compares equal times and
-//! falls through to the tie-break fields).
+//! falls through to the tie-break fields). PR 8 adds the behavior axis:
+//! `behavior_dispatch` runs both fixtures through the matrix interpreter
+//! (default) vs the hand-coded legacy branches
+//! (`WTR_LEGACY_BEHAVIOR=1`); the refactor's acceptance requires the
+//! matrix arm within noise of legacy.
 //!
 //! Acceptance: on the 1-CPU bench host, `run_sharded(1)` — one engine,
 //! inline on the calling thread — must stay within 5% of the pre-PR
@@ -128,6 +132,19 @@ fn bench(c: &mut Criterion) {
         parts.push(format!(
             "\"sim_2500x22_shards8_serial_merge_ms\":{serial_merge_ms:.1}"
         ));
+        // Behavior ablation: matrix interpreter (default) vs the legacy
+        // hand-coded wake branches (WTR_LEGACY_BEHAVIOR=1), both
+        // fixtures, 1 shard (pure per-wake dispatch cost).
+        for (name, cfg, iters) in [("400x5", &small, 10u32), ("2500x22", &big, 2)] {
+            let scenario = MnoScenario::new(cfg.clone());
+            let matrix_ms = time_ms(iters, || scenario.run_sharded(1));
+            parts.push(format!("\"behavior_{name}_matrix_ms\":{matrix_ms:.1}"));
+            std::env::set_var("WTR_LEGACY_BEHAVIOR", "1");
+            let scenario = MnoScenario::new(cfg.clone());
+            let legacy_ms = time_ms(iters, || scenario.run_sharded(1));
+            std::env::remove_var("WTR_LEGACY_BEHAVIOR");
+            parts.push(format!("\"behavior_{name}_legacy_ms\":{legacy_ms:.1}"));
+        }
         // Firmware-storm worst case: 20k agents, all wake-ups landing on
         // three exact instants with same-instant re-schedules.
         let storm_cal_ms = time_ms(3, || run_storm(SchedulerKind::Calendar, 20_000));
@@ -184,6 +201,25 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(&scenario).run_sharded(1));
         std::env::remove_var("WTR_HEAP_SCHED");
     });
+    g.finish();
+
+    // Behavior ablation pair: the same scenarios stepped by the matrix
+    // interpreter (default) vs the legacy hand-coded branches. Agents
+    // read WTR_LEGACY_BEHAVIOR at construction — inside run_sharded — so
+    // flipping it around the iterations selects the path per arm.
+    let mut g = c.benchmark_group("behavior_dispatch");
+    g.sample_size(10);
+    for (name, cfg) in [("400x5", &small), ("2500x22", &big)] {
+        let scenario = MnoScenario::new(cfg.clone());
+        g.bench_function(&format!("{name}_matrix"), |b| {
+            b.iter(|| black_box(&scenario).run_sharded(1))
+        });
+        g.bench_function(&format!("{name}_legacy"), |b| {
+            std::env::set_var("WTR_LEGACY_BEHAVIOR", "1");
+            b.iter(|| black_box(&scenario).run_sharded(1));
+            std::env::remove_var("WTR_LEGACY_BEHAVIOR");
+        });
+    }
     g.finish();
 
     // Firmware-storm microbench: every wake-up in the run lands on one

@@ -13,7 +13,8 @@ use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::TacDatabase;
 use wtr_probes::catalog::DevicesCatalog;
 use wtr_probes::io as probe_io;
-use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig};
+use wtr_scenarios::{M2mScenario, M2mScenarioConfig, MnoScenario, MnoScenarioConfig, Universe};
+use wtr_sim::behavior::BehaviorMatrix;
 
 fn open_out(path: &str) -> Result<BufWriter<File>, String> {
     File::create(path)
@@ -25,6 +26,49 @@ fn open_in(path: &str) -> Result<BufReader<File>, String> {
     File::open(path)
         .map(BufReader::new)
         .map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+/// Loads and validates a `--behavior` file: a JSON object mapping vertical
+/// labels to [`BehaviorMatrix`] definitions. Every matrix is re-validated
+/// after deserialization so a hand-edited file fails here, with the
+/// offending class named, rather than deep inside the simulation.
+fn load_behaviors(
+    path: &str,
+) -> Result<std::collections::BTreeMap<String, std::sync::Arc<BehaviorMatrix>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let map: std::collections::BTreeMap<String, BehaviorMatrix> =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut overrides = std::collections::BTreeMap::new();
+    for (label, matrix) in map {
+        matrix
+            .validate()
+            .map_err(|e| format!("{path}: behavior for {label:?}: {e}"))?;
+        overrides.insert(label, std::sync::Arc::new(matrix));
+    }
+    Ok(overrides)
+}
+
+/// `wtr behavior-template`: dump the standard per-vertical behavior
+/// library as JSON — the exact format `simulate-mno --behavior` loads, so
+/// defining a new device class starts from a working file.
+pub fn behavior_template(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["out"], &[])?;
+    if args.flag("help") {
+        println!("wtr behavior-template [--out behaviors.json]");
+        return Ok(());
+    }
+    let library = Universe::standard_behaviors();
+    let json = serde_json::to_string_pretty(&library).map_err(|e| e.to_string())?;
+    match args.get("out") {
+        Some(path) => {
+            let mut out = open_out(path)?;
+            writeln!(out, "{json}").map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {} behaviors to {path}", library.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
 }
 
 fn load_catalog(args: &Args) -> Result<DevicesCatalog, String> {
@@ -65,6 +109,7 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
             "nbiot-meters",
             "record-loss",
             "shards",
+            "behavior",
         ],
         &["sunset-2g", "transparency", "stream"],
     )?;
@@ -72,7 +117,7 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         println!(
             "wtr simulate-mno --out catalog.jsonl [--out-bin catalog.wtrcat] [--truth truth.jsonl] \
              [--devices N] [--days D] [--seed S] [--nbiot-meters F] [--sunset-2g] [--transparency] \
-             [--record-loss F] [--stream] [--shards K]"
+             [--record-loss F] [--stream] [--shards K] [--behavior behaviors.json]"
         );
         return Ok(());
     }
@@ -112,7 +157,14 @@ pub fn simulate_mno(argv: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let scenario = MnoScenario::new(config);
+    // `--behavior` swaps in externally defined behavior matrices for the
+    // verticals named in the file (keys are `Vertical::label()` strings;
+    // `wtr behavior-template` dumps the standard library as a starting
+    // point). Unlisted verticals keep their compiled-in behavior.
+    let scenario = match args.get("behavior") {
+        Some(path) => MnoScenario::new(config).with_behavior_overrides(load_behaviors(path)?),
+        None => MnoScenario::new(config),
+    };
     let output = match (args.flag("stream"), shards) {
         (false, None) => scenario.run(),
         (true, None) => scenario.run_streaming(),

@@ -7,6 +7,7 @@
 //! wtr classify           --catalog catalog.jsonl [--pipeline full|apn|vendor|range]
 //! wtr analyze            --catalog catalog.jsonl [labels|home|classes|rat|traffic|smip|verticals|diurnal|revenue ...]
 //! wtr platform-stats     --transactions txs.jsonl
+//! wtr behavior-template  [--out behaviors.json]
 //! ```
 //!
 //! Datasets flow through the JSONL formats of `wtr_probes::io`, so any
@@ -33,6 +34,7 @@ COMMANDS:
     validate            score a pipeline against exported ground truth
     analyze             print analyses over a catalog (labels, home, rat, …)
     platform-stats      print §3 statistics over a transaction log
+    behavior-template   dump the standard per-vertical behavior matrices as JSON
     help                show this message
 
 Run `wtr <COMMAND> --help` for per-command options.";
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
         "validate" => commands::validate_cmd(rest),
         "analyze" => commands::analyze(rest),
         "platform-stats" => commands::platform_stats(rest),
+        "behavior-template" => commands::behavior_template(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

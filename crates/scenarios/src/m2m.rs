@@ -15,6 +15,7 @@
 use crate::universe::Universe;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wtr_model::country::{Country, Region};
 use wtr_model::hash::{anonymize_u64, AnonKey};
 use wtr_model::ids::{Imei, Plmn, Tac};
@@ -26,6 +27,7 @@ use wtr_platform::platform::M2mPlatform;
 use wtr_probes::m2m::M2mProbe;
 use wtr_probes::records::M2mTransaction;
 use wtr_radio::network::CoverageFaults;
+use wtr_sim::behavior::{profile_matrix, BehaviorMatrix, BehaviorOptions};
 use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
 use wtr_sim::events::ProcedureResult;
 use wtr_sim::mobility::MobilityModel;
@@ -107,6 +109,9 @@ impl M2mScenarioOutput {
 /// The §3 scenario builder/runner.
 pub struct M2mScenario {
     config: M2mScenarioConfig,
+    /// Per-vertical behavior overrides keyed by `Vertical::label()`,
+    /// mirroring `MnoScenario`'s hook.
+    behavior_overrides: BTreeMap<String, Arc<BehaviorMatrix>>,
 }
 
 /// Traffic profile of a platform IoT device: control-plane only (the probe
@@ -129,10 +134,41 @@ fn platform_profile(signaling_per_day: f64, sigma: f64) -> TrafficProfile {
     }
 }
 
+/// The platform IoT device class as a declarative [`BehaviorMatrix`]:
+/// [`platform_profile`]'s rates compiled with data and voice planes
+/// disabled — exactly what `DeviceAgent` compiles internally for a
+/// platform spec with the same knobs. Exported so tooling can serialize
+/// platform classes alongside `Universe::standard_behaviors`.
+pub fn platform_behavior(
+    signaling_per_day: f64,
+    sigma: f64,
+    opts: &BehaviorOptions,
+) -> BehaviorMatrix {
+    let opts = BehaviorOptions {
+        data_enabled: false,
+        voice_enabled: false,
+        ..*opts
+    };
+    profile_matrix(&platform_profile(signaling_per_day, sigma), &opts)
+}
+
 impl M2mScenario {
     /// Creates a scenario.
     pub fn new(config: M2mScenarioConfig) -> Self {
-        M2mScenario { config }
+        M2mScenario {
+            config,
+            behavior_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Installs per-vertical behavior overrides (see
+    /// `MnoScenario::with_behavior_overrides`).
+    pub fn with_behavior_overrides(
+        mut self,
+        overrides: BTreeMap<String, Arc<BehaviorMatrix>>,
+    ) -> Self {
+        self.behavior_overrides = overrides;
+        self
     }
 
     /// Builds the universe, simulates, and returns the captured dataset.
@@ -235,7 +271,11 @@ impl M2mScenario {
             .map(|(spec, truth)| {
                 let anon = anonymize_u64(AnonKey::FIXED, spec.imsi.packed());
                 ground_truth.insert(anon, truth);
-                DeviceAgent::new(spec, cfg.seed)
+                match self.behavior_overrides.get(spec.vertical.label()) {
+                    Some(matrix) => DeviceAgent::with_behavior(spec, Arc::clone(matrix), cfg.seed)
+                        .expect("platform specs are valid"),
+                    None => DeviceAgent::new(spec, cfg.seed),
+                }
             })
             .collect();
         let directory = universe.directory;

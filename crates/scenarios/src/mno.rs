@@ -31,6 +31,7 @@
 use crate::universe::Universe;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use wtr_model::apn::Apn;
 use wtr_model::country::Country;
 use wtr_model::hash::{anonymize_u64, AnonKey};
@@ -45,6 +46,7 @@ use wtr_probes::faults::LossySink;
 use wtr_probes::mno::MnoProbe;
 use wtr_radio::network::{CoverageFaults, RadioNetwork};
 use wtr_radio::sector::GridSpacing;
+use wtr_sim::behavior::BehaviorMatrix;
 use wtr_sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
 use wtr_sim::engine::EngineStats;
 use wtr_sim::mobility::MobilityModel;
@@ -145,6 +147,10 @@ impl MnoScenarioOutput {
 /// The §4–§7 scenario builder/runner.
 pub struct MnoScenario {
     config: MnoScenarioConfig,
+    /// Per-vertical behavior overrides keyed by [`Vertical::label`]:
+    /// devices of a listed vertical step the supplied matrix instead of
+    /// their spec's compiled behavior (the `--behavior` CLI path).
+    behavior_overrides: BTreeMap<String, Arc<BehaviorMatrix>>,
 }
 
 const UK: Plmn = well_known::UK_STUDIED_MNO;
@@ -152,7 +158,21 @@ const UK: Plmn = well_known::UK_STUDIED_MNO;
 impl MnoScenario {
     /// Creates a scenario.
     pub fn new(config: MnoScenarioConfig) -> Self {
-        MnoScenario { config }
+        MnoScenario {
+            config,
+            behavior_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Installs per-vertical behavior overrides (validated matrices keyed
+    /// by [`Vertical::label`], e.g. loaded from a `--behavior` file).
+    /// Verticals absent from the map keep their compiled spec behavior.
+    pub fn with_behavior_overrides(
+        mut self,
+        overrides: BTreeMap<String, Arc<BehaviorMatrix>>,
+    ) -> Self {
+        self.behavior_overrides = overrides;
+        self
     }
 
     /// The studied MNO's dedicated smart-meter IMSI range.
@@ -278,7 +298,11 @@ impl MnoScenario {
             .zip(truth)
             .map(|(spec, vertical)| {
                 ground_truth.insert(anonymize_u64(AnonKey::FIXED, spec.imsi.packed()), vertical);
-                DeviceAgent::new(spec, cfg.seed)
+                match self.behavior_overrides.get(spec.vertical.label()) {
+                    Some(matrix) => DeviceAgent::with_behavior(spec, Arc::clone(matrix), cfg.seed)
+                        .expect("population specs are valid"),
+                    None => DeviceAgent::new(spec, cfg.seed),
+                }
             })
             .collect();
         // Each shard gets its own world: a clone of the directory and
@@ -545,6 +569,12 @@ impl PopulationBuilder<'_> {
                     mobility: MobilityModel::local_area_in(&gb, 0.15, seed ^ 2),
                 },
             ];
+            // Clamping the return leg to the window end can reorder legs
+            // when the holiday starts after the window closes; those legs
+            // are unreachable (every simulated day is < `days`), so the
+            // stable sort restores the spec's sorted-itinerary invariant
+            // without changing which leg any day resolves to.
+            spec.itinerary.sort_by_key(|leg| leg.from_day);
             self.push(spec, Vertical::Smartphone);
         }
     }

@@ -7,16 +7,20 @@
 //! MNOs world-wide, §2.1), and a [`PlatformPolicy`] turns that agreement
 //! graph into per-attach admission decisions.
 
+use std::collections::BTreeMap;
 use wtr_model::country::Country;
 use wtr_model::ids::Plmn;
 use wtr_model::operators::{well_known, OperatorKind, OperatorRegistry};
 use wtr_model::rat::RatSet;
+use wtr_model::vertical::Vertical;
 use wtr_platform::agreements::AgreementGraph;
 use wtr_platform::platform::M2mPlatform;
 use wtr_platform::policy::PlatformPolicy;
 use wtr_radio::geo::CountryGeometry;
 use wtr_radio::network::{CoverageFaults, RadioNetwork};
 use wtr_radio::sector::GridSpacing;
+use wtr_sim::behavior::{profile_matrix, BehaviorMatrix, BehaviorOptions};
+use wtr_sim::traffic::TrafficProfile;
 use wtr_sim::world::NetworkDirectory;
 
 /// Everything the scenarios share: registry, networks, policy, platform.
@@ -35,6 +39,36 @@ impl Universe {
     /// Geometry of a country by ISO code.
     pub fn geometry(iso: &str) -> CountryGeometry {
         CountryGeometry::of(Country::by_iso(iso).expect("known country"))
+    }
+
+    /// The standard per-vertical behavior library: each [`Vertical`]'s
+    /// calibrated traffic profile compiled into a [`BehaviorMatrix`],
+    /// keyed by [`Vertical::label`]. This map (serialized) is exactly the
+    /// `--behavior <file.json>` format, and `wtr behavior-template` dumps
+    /// it as the starting point for custom device classes.
+    ///
+    /// Planes whose rate is zero in the profile are compiled disabled, so
+    /// the library matrices describe what the class actually does. They
+    /// are class-level *baselines*: always active, no switch propensity,
+    /// no injected failures. The built-in populations instead compile one
+    /// matrix per device (folding in per-device switch propensity, sticky
+    /// failures and activity), so overriding a vertical with its template
+    /// matrix intentionally replaces that per-device variation with the
+    /// class baseline — mobility, presence and APN lists still come from
+    /// the device spec.
+    pub fn standard_behaviors() -> BTreeMap<String, BehaviorMatrix> {
+        Vertical::ALL
+            .iter()
+            .map(|v| {
+                let profile = TrafficProfile::for_vertical(*v);
+                let opts = BehaviorOptions {
+                    data_enabled: profile.data_sessions_per_day > 0.0,
+                    voice_enabled: profile.voice_per_day > 0.0,
+                    ..BehaviorOptions::default()
+                };
+                (v.label().to_owned(), profile_matrix(&profile, &opts))
+            })
+            .collect()
     }
 
     /// Builds the standard universe:

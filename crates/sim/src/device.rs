@@ -19,6 +19,7 @@
 //! transaction mix of the paper's M2M dataset (§3.1) and produces the
 //! inter-VMNO switching dynamics of Fig. 3.
 
+use crate::behavior::{self, AttachParams, BehaviorMatrix, Emission, StateId, StepCtx, StepHost};
 use crate::engine::{Agent, AgentId, Scheduler, WakeTag};
 use crate::events::{
     DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall, VoiceKind,
@@ -28,12 +29,37 @@ use crate::rng::SubstreamRng;
 use crate::traffic::TrafficProfile;
 use crate::world::{AccessDecision, EventSink, RoamingWorld};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 use wtr_model::apn::Apn;
 use wtr_model::ids::{Imei, Imsi, Plmn};
 use wtr_model::rat::{Rat, RatSet};
-use wtr_model::time::{Day, SimTime};
+use wtr_model::time::{Day, SimDuration, SimTime};
 use wtr_radio::geo::GeoPoint;
 use wtr_radio::sector::SectorId;
+
+/// Why a [`DeviceSpec`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The itinerary has no legs — `leg_at` would have nothing to return.
+    EmptyItinerary,
+    /// Itinerary legs are not sorted by `from_day` — `leg_at`'s forward
+    /// walk assumes non-decreasing start days.
+    UnsortedItinerary,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyItinerary => write!(f, "device itinerary is empty"),
+            SpecError::UnsortedItinerary => {
+                write!(f, "device itinerary legs are not sorted by from_day")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// When a device exists and how reliably it shows up.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +140,23 @@ pub struct DeviceSpec {
 }
 
 impl DeviceSpec {
+    /// Validates the invariants [`leg_at`](DeviceSpec::leg_at) depends on:
+    /// a non-empty itinerary, sorted by `from_day`. Checked once at agent
+    /// construction so release builds can never walk an empty itinerary.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.itinerary.is_empty() {
+            return Err(SpecError::EmptyItinerary);
+        }
+        if self
+            .itinerary
+            .windows(2)
+            .any(|pair| pair[0].from_day > pair[1].from_day)
+        {
+            return Err(SpecError::UnsortedItinerary);
+        }
+        Ok(())
+    }
+
     /// The itinerary leg covering `day`.
     pub fn leg_at(&self, day: Day) -> &ItineraryLeg {
         debug_assert!(!self.itinerary.is_empty());
@@ -153,10 +196,22 @@ mod tags {
     pub const VOICE: u32 = 3;
 }
 
+/// True when the `WTR_LEGACY_BEHAVIOR=1` ablation knob selects the
+/// hand-coded wake branches instead of the matrix interpreter (mirrors
+/// the `WTR_HEAP_SCHED` scheduler knob).
+fn legacy_behavior_env() -> bool {
+    std::env::var("WTR_LEGACY_BEHAVIOR").is_ok_and(|v| v == "1")
+}
+
 /// The executable agent for one device.
 #[derive(Debug, Clone)]
 pub struct DeviceAgent {
     spec: DeviceSpec,
+    /// The compiled behavior matrix driving the agent. `None` selects the
+    /// hand-coded legacy branches (`WTR_LEGACY_BEHAVIOR=1`), kept as the
+    /// proven-equal ablation path. Shared: every device of a class steps
+    /// the same matrix.
+    behavior: Option<Arc<BehaviorMatrix>>,
     rng: SubstreamRng,
     multiplier: f64,
     /// How many candidate networks a sticky-failing device attempts per
@@ -171,16 +226,72 @@ pub struct DeviceAgent {
 impl DeviceAgent {
     /// Builds the agent; RNG substream and per-device rate multiplier are
     /// derived deterministically from `master_seed` and the spec index.
+    /// The spec's behavior compiles into a [`BehaviorMatrix`] unless
+    /// `WTR_LEGACY_BEHAVIOR=1` selects the hand-coded branches.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid spec — use [`try_new`](DeviceAgent::try_new) to
+    /// handle [`SpecError`] instead.
     pub fn new(spec: DeviceSpec, master_seed: u64) -> Self {
+        Self::try_new(spec, master_seed).expect("invalid device spec")
+    }
+
+    /// Fallible [`new`](DeviceAgent::new): validates the spec first.
+    pub fn try_new(spec: DeviceSpec, master_seed: u64) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let behavior = if legacy_behavior_env() {
+            None
+        } else {
+            Some(Arc::new(behavior::legacy_matrix(&spec)))
+        };
+        Ok(Self::assemble(spec, behavior, master_seed))
+    }
+
+    /// Builds the agent on an explicit behavior matrix (e.g. loaded from a
+    /// `--behavior` file), regardless of `WTR_LEGACY_BEHAVIOR`. The spec
+    /// still supplies identity, radio capabilities, APNs, presence window
+    /// and itinerary; the matrix supplies all behavior.
+    pub fn with_behavior(
+        spec: DeviceSpec,
+        matrix: Arc<BehaviorMatrix>,
+        master_seed: u64,
+    ) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self::assemble(spec, Some(matrix), master_seed))
+    }
+
+    /// Builds the agent on the hand-coded legacy branches, regardless of
+    /// `WTR_LEGACY_BEHAVIOR` — the explicit ablation constructor used by
+    /// equivalence tests and benches.
+    pub fn legacy(spec: DeviceSpec, master_seed: u64) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self::assemble(spec, None, master_seed))
+    }
+
+    /// Shared tail of all constructors: the construction-time draws
+    /// (multiplier, sticky breadth) consume identical substream values on
+    /// both paths — the matrix stores the very numbers the spec holds.
+    fn assemble(spec: DeviceSpec, behavior: Option<Arc<BehaviorMatrix>>, master_seed: u64) -> Self {
         let mut rng = SubstreamRng::derive(master_seed, spec.index);
-        let multiplier = spec.traffic.draw_device_multiplier(&mut rng);
-        let sticky_breadth = match rng.weighted_index(&[0.95, 0.03, 0.02]) {
-            0 => 1,
-            1 => 2,
-            _ => usize::MAX,
+        let (multiplier, sticky_breadth) = match &behavior {
+            Some(matrix) => (
+                matrix.draw_multiplier(&mut rng),
+                matrix.draw_sticky_breadth(&mut rng),
+            ),
+            None => {
+                let multiplier = spec.traffic.draw_device_multiplier(&mut rng);
+                let sticky_breadth = match rng.weighted_index(&behavior::STICKY_BREADTH_WEIGHTS) {
+                    0 => 1,
+                    1 => 2,
+                    _ => usize::MAX,
+                };
+                (multiplier, sticky_breadth)
+            }
         };
         DeviceAgent {
             spec,
+            behavior,
             rng,
             multiplier,
             sticky_breadth,
@@ -195,9 +306,24 @@ impl DeviceAgent {
         &self.spec
     }
 
+    /// The compiled behavior matrix, when matrix-driven.
+    pub fn behavior(&self) -> Option<&Arc<BehaviorMatrix>> {
+        self.behavior.as_ref()
+    }
+
     /// The device's per-device rate multiplier.
     pub fn multiplier(&self) -> f64 {
         self.multiplier
+    }
+
+    /// The attach-walk knobs of the legacy path (spec-sourced; the matrix
+    /// path reads the same values out of its [`BehaviorMatrix`]).
+    fn legacy_attach_params(&self) -> AttachParams {
+        AttachParams {
+            event_failure_prob: self.spec.event_failure_prob,
+            sticky_failure: self.spec.sticky_failure,
+            rotate_prob: behavior::RESELECT_ROTATE_PROB,
+        }
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the record's fields
@@ -233,6 +359,7 @@ impl DeviceAgent {
         now: SimTime,
         pos: GeoPoint,
         country_iso: &str,
+        params: AttachParams,
     ) -> Option<(Plmn, Rat, SectorId)> {
         let caps = self.spec.radio_caps;
         let moved_country = self
@@ -264,7 +391,7 @@ impl DeviceAgent {
             // Devices mostly ping-pong between two preferred networks
             // (Fig. 3: switch counts far exceed VMNO counts); only
             // occasionally does a switch land further down the list.
-            if candidates.len() > 1 && self.rng.chance(0.1) {
+            if candidates.len() > 1 && self.rng.chance(params.rotate_prob) {
                 let k = self.rng.index(candidates.len());
                 candidates.rotate_left(k);
             }
@@ -280,7 +407,7 @@ impl DeviceAgent {
             let Some((rat, sec)) = net.serve_best(pos, caps.intersection(net.rats())) else {
                 continue;
             };
-            if let Some(fail) = self.spec.sticky_failure {
+            if let Some(fail) = params.sticky_failure {
                 // Misprovisioned device: authentication fails everywhere.
                 self.signal(
                     world,
@@ -312,7 +439,7 @@ impl DeviceAgent {
             let decision = world.policy.decide(home, cand);
             match decision {
                 AccessDecision::Allowed => {
-                    if self.rng.chance(self.spec.event_failure_prob) {
+                    if self.rng.chance(params.event_failure_prob) {
                         // Transient failure on this attempt; try next.
                         self.signal(
                             world,
@@ -414,13 +541,197 @@ impl DeviceAgent {
     }
 }
 
-impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
-    fn init(&mut self, id: AgentId, _world: &mut RoamingWorld<S>, sched: &mut Scheduler) {
-        let first = self.spec.presence.first_day;
-        sched.wake_at(id, WakeTag(tags::DAY), Day(first).start());
+/// Per-wake adapter implementing [`StepHost`] for the matrix interpreter:
+/// RNG access routes to the device substream, the attach walk to
+/// [`DeviceAgent`]'s `ensure_attached` (recording the serving network for
+/// the emission that follows), and scheduling to the engine with the wake
+/// tag carrying the target [`StateId`].
+struct AgentHost<'a, S: EventSink> {
+    agent: &'a mut DeviceAgent,
+    world: &'a mut RoamingWorld<S>,
+    sched: &'a mut Scheduler,
+    id: AgentId,
+    now: SimTime,
+    day: Day,
+    pos: GeoPoint,
+    country: &'a str,
+    params: AttachParams,
+    serving: Option<(Plmn, Rat, SectorId)>,
+}
+
+impl<S: EventSink> StepHost for AgentHost<'_, S> {
+    fn rng(&mut self) -> &mut SubstreamRng {
+        &mut self.agent.rng
     }
 
-    fn wake(
+    fn request_reselect(&mut self) {
+        self.agent.force_reselect = true;
+    }
+
+    fn attach(&mut self) -> bool {
+        self.serving =
+            self.agent
+                .ensure_attached(self.world, self.now, self.pos, self.country, self.params);
+        self.serving.is_some()
+    }
+
+    fn schedule(&mut self, state: StateId, second_of_day: u64) {
+        let at = self.day.start() + SimDuration::from_secs(second_of_day);
+        self.sched.wake_at(self.id, WakeTag(state.0), at);
+    }
+}
+
+impl DeviceAgent {
+    /// Matrix-driven wake: one homogeneous interpreter step, then turn
+    /// the returned [`Emission`] into events on the serving network the
+    /// step's attach recorded. Draw-for-draw identical to
+    /// [`wake_legacy`](Self::wake_legacy) when stepping a
+    /// [`behavior::legacy_matrix`] compilation.
+    fn wake_matrix<S: EventSink>(
+        &mut self,
+        matrix: &BehaviorMatrix,
+        id: AgentId,
+        tag: WakeTag,
+        world: &mut RoamingWorld<S>,
+        sched: &mut Scheduler,
+    ) {
+        let state = StateId(tag.0);
+        if state.idx() >= matrix.len() {
+            debug_assert!(false, "unknown wake tag {}", tag.0);
+            return;
+        }
+        let now = sched.now();
+        let day = now.day();
+        let leg = self.spec.leg_at(day).clone();
+        let pos = leg.mobility.position(now);
+        let ctx = StepCtx {
+            present: self.spec.presence.present_on(day),
+            multiplier: self.multiplier,
+        };
+        let (next, emission, serving) = {
+            let mut host = AgentHost {
+                agent: self,
+                world,
+                sched,
+                id,
+                now,
+                day,
+                pos,
+                country: &leg.country_iso,
+                params: matrix.attach_params(),
+                serving: None,
+            };
+            let (next, emission) = matrix.step(state, ctx, &mut host);
+            (next, emission, host.serving)
+        };
+        match emission {
+            Emission::Idle | Emission::Planned { .. } => {}
+            Emission::Signaling { reauth, ok } => {
+                if let Some((plmn, rat, sec)) = serving {
+                    let result = if ok {
+                        ProcedureResult::Ok
+                    } else {
+                        ProcedureResult::NetworkFailure
+                    };
+                    if reauth {
+                        // Full re-registration: visible at the home HSS
+                        // (and therefore to the M2M platform probes).
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::Authentication,
+                            result,
+                        );
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::UpdateLocation,
+                            result,
+                        );
+                    } else {
+                        // Local periodic registration on the camped network.
+                        self.signal(
+                            world,
+                            now,
+                            plmn,
+                            Some(sec),
+                            rat,
+                            ProcedureType::RoutingAreaUpdate,
+                            result,
+                        );
+                    }
+                }
+            }
+            Emission::Data {
+                apn_index,
+                bytes_up,
+                bytes_down,
+                duration_secs,
+            } => {
+                if let Some((plmn, rat, sec)) = serving {
+                    if !self.spec.apns.is_empty() {
+                        let apn = self.spec.apns[apn_index as usize % self.spec.apns.len()].clone();
+                        world.emit(SimEvent::Data(DataSession {
+                            time: now,
+                            device: self.spec.index,
+                            imsi: self.spec.imsi,
+                            imei: self.spec.imei,
+                            visited: plmn,
+                            sector: sec,
+                            rat,
+                            apn,
+                            duration_secs,
+                            bytes_up,
+                            bytes_down,
+                        }));
+                    }
+                }
+            }
+            Emission::Voice {
+                call,
+                duration_secs,
+            } => {
+                if let Some((plmn, rat, sec)) = serving {
+                    let kind = if call {
+                        VoiceKind::Call
+                    } else {
+                        VoiceKind::SmsLike
+                    };
+                    world.emit(SimEvent::Voice(VoiceCall {
+                        time: now,
+                        device: self.spec.index,
+                        imsi: self.spec.imsi,
+                        imei: self.spec.imei,
+                        visited: plmn,
+                        sector: sec,
+                        rat,
+                        kind,
+                        duration_secs,
+                    }));
+                }
+            }
+        }
+        // Plan rows re-arm the next day's planning wake (at the chain's
+        // successor) while the device remains present — mirroring the
+        // legacy DAY re-scheduling, inactive days included.
+        if matrix.is_plan(state) {
+            let next_day = Day(day.0 + 1);
+            if next_day.0 < self.spec.presence.last_day {
+                sched.wake_at(id, WakeTag(next.0), next_day.start());
+            }
+        }
+    }
+
+    /// The hand-coded wake branches, kept verbatim as the
+    /// `WTR_LEGACY_BEHAVIOR=1` ablation path the matrix interpreter is
+    /// proven equal to.
+    fn wake_legacy<S: EventSink>(
         &mut self,
         id: AgentId,
         tag: WakeTag,
@@ -452,9 +763,13 @@ impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
                 if self.rng.chance(self.spec.switch_propensity) {
                     self.force_reselect = true;
                 }
-                if let Some((plmn, rat, sec)) =
-                    self.ensure_attached(world, now, pos, &leg.country_iso)
-                {
+                if let Some((plmn, rat, sec)) = self.ensure_attached(
+                    world,
+                    now,
+                    pos,
+                    &leg.country_iso,
+                    self.legacy_attach_params(),
+                ) {
                     let result = if self.rng.chance(self.spec.event_failure_prob) {
                         ProcedureResult::NetworkFailure
                     } else {
@@ -501,9 +816,13 @@ impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
                 }
                 let leg = self.spec.leg_at(day).clone();
                 let pos = leg.mobility.position(now);
-                if let Some((plmn, rat, sec)) =
-                    self.ensure_attached(world, now, pos, &leg.country_iso)
-                {
+                if let Some((plmn, rat, sec)) = self.ensure_attached(
+                    world,
+                    now,
+                    pos,
+                    &leg.country_iso,
+                    self.legacy_attach_params(),
+                ) {
                     let (up, down) = self.spec.traffic.volume.sample(&mut self.rng);
                     let apn_idx = self.rng.index(self.spec.apns.len());
                     let duration = self.rng.exponential(300.0).clamp(1.0, 7_200.0) as u32;
@@ -529,9 +848,13 @@ impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
                 }
                 let leg = self.spec.leg_at(day).clone();
                 let pos = leg.mobility.position(now);
-                if let Some((plmn, rat, sec)) =
-                    self.ensure_attached(world, now, pos, &leg.country_iso)
-                {
+                if let Some((plmn, rat, sec)) = self.ensure_attached(
+                    world,
+                    now,
+                    pos,
+                    &leg.country_iso,
+                    self.legacy_attach_params(),
+                ) {
                     let (kind, duration) = if self.spec.traffic.voice_is_call {
                         let d = self
                             .rng
@@ -555,6 +878,30 @@ impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
                 }
             }
             other => debug_assert!(false, "unknown wake tag {other}"),
+        }
+    }
+}
+
+impl<S: EventSink> Agent<RoamingWorld<S>> for DeviceAgent {
+    fn init(&mut self, id: AgentId, _world: &mut RoamingWorld<S>, sched: &mut Scheduler) {
+        let entry = match &self.behavior {
+            Some(matrix) => WakeTag(matrix.entry.0),
+            None => WakeTag(tags::DAY),
+        };
+        let first = self.spec.presence.first_day;
+        sched.wake_at(id, entry, Day(first).start());
+    }
+
+    fn wake(
+        &mut self,
+        id: AgentId,
+        tag: WakeTag,
+        world: &mut RoamingWorld<S>,
+        sched: &mut Scheduler,
+    ) {
+        match self.behavior.clone() {
+            Some(matrix) => self.wake_matrix(&matrix, id, tag, world, sched),
+            None => self.wake_legacy(id, tag, world, sched),
         }
     }
 }
@@ -631,6 +978,76 @@ mod tests {
             engine.add_agent(DeviceAgent::new(spec, 99));
         }
         engine.run().sink.events
+    }
+
+    /// Runs the same specs on the explicit legacy path and the explicit
+    /// matrix path (env-independent) and returns both event streams.
+    fn run_both_paths(specs: Vec<DeviceSpec>, days: u32) -> (Vec<SimEvent>, Vec<SimEvent>) {
+        let run_path = |specs: &[DeviceSpec], legacy: bool| {
+            let world = RoamingWorld::new(
+                directory(),
+                Box::new(AllowAllPolicy),
+                VecSink::default(),
+                99,
+            );
+            let mut engine = Engine::new(world, SimTime::from_secs(days as u64 * 86_400));
+            for spec in specs {
+                let agent = if legacy {
+                    DeviceAgent::legacy(spec.clone(), 99).unwrap()
+                } else {
+                    let matrix = Arc::new(crate::behavior::legacy_matrix(spec));
+                    DeviceAgent::with_behavior(spec.clone(), matrix, 99).unwrap()
+                };
+                engine.add_agent(agent);
+            }
+            engine.run().sink.events
+        };
+        (run_path(&specs, true), run_path(&specs, false))
+    }
+
+    #[test]
+    fn matrix_and_legacy_paths_emit_identical_events() {
+        // Plain meter, a sticky-failing device, a constant switcher and a
+        // flaky presence window together cover every wake branch.
+        let mut sticky = meter_spec(2);
+        sticky.sticky_failure = Some(ProcedureResult::UnknownSubscription);
+        let mut switcher = meter_spec(3);
+        switcher.switch_propensity = 1.0;
+        switcher.event_failure_prob = 0.1;
+        let mut flaky = meter_spec(4);
+        flaky.presence = PresenceModel {
+            first_day: 1,
+            last_day: 6,
+            daily_active_prob: 0.5,
+        };
+        let (legacy, matrix) = run_both_paths(vec![meter_spec(1), sticky, switcher, flaky], 7);
+        assert_eq!(legacy, matrix);
+    }
+
+    #[test]
+    fn invalid_itineraries_are_rejected_at_construction() {
+        let mut empty = meter_spec(10);
+        empty.itinerary.clear();
+        assert_eq!(empty.validate(), Err(SpecError::EmptyItinerary));
+        assert!(DeviceAgent::try_new(empty, 99).is_err());
+
+        let mut unsorted = meter_spec(11);
+        unsorted.itinerary = vec![
+            ItineraryLeg {
+                from_day: 5,
+                country_iso: "GB".into(),
+                mobility: MobilityModel::stationary_in(&uk_geom(), 1),
+            },
+            ItineraryLeg {
+                from_day: 0,
+                country_iso: "ES".into(),
+                mobility: MobilityModel::stationary_in(&uk_geom(), 2),
+            },
+        ];
+        assert_eq!(unsorted.validate(), Err(SpecError::UnsortedItinerary));
+        assert!(DeviceAgent::try_new(unsorted, 99).is_err());
+
+        assert!(meter_spec(12).validate().is_ok());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`engine`] — a minimal event-queue core: agents schedule wake-ups,
 //!   the engine dispatches them in time order (calendar-queue storage by
 //!   default, the reference `BinaryHeap` behind `WTR_HEAP_SCHED=1`).
+//! * [`behavior`] — declarative device behavior: validated CTMC
+//!   transition matrices interpreted by one homogeneous `step` function
+//!   (the hand-coded branches stay behind `WTR_LEGACY_BEHAVIOR=1`).
 //! * [`events`] — the simulation's observable output: signaling
 //!   transactions, data sessions, voice calls.
 //! * [`mobility`] — position-over-time models (stationary meter, commuter,
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 mod calendar;
 pub mod device;
 pub mod engine;
@@ -50,7 +54,11 @@ pub mod stream;
 pub mod traffic;
 pub mod world;
 
-pub use device::{DeviceAgent, DeviceSpec, PresenceModel};
+pub use behavior::{
+    legacy_matrix, profile_matrix, BehaviorError, BehaviorMatrix, BehaviorOptions, BehaviorRow,
+    EmissionSpec, StateId,
+};
+pub use device::{DeviceAgent, DeviceSpec, PresenceModel, SpecError};
 pub use engine::{Agent, AgentId, Engine, EngineStats, Scheduler, SchedulerKind, WakeTag};
 pub use events::{
     DataSession, ProcedureResult, ProcedureType, SignalingEvent, SimEvent, VoiceCall,

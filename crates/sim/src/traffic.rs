@@ -127,147 +127,184 @@ pub struct TrafficProfile {
     pub reauth_fraction: f64,
 }
 
+/// The per-vertical calibration table (§6/§7): one named constant per
+/// [`Vertical`], the single source the behavior compiler
+/// (`wtr_sim::behavior::profile_matrix`) and [`TrafficProfile::for_vertical`]
+/// both read. Field order everywhere: signaling rate, per-device sigma,
+/// data rate, volume, voice rate/kind/duration, diurnal shape, reauth
+/// fraction.
+pub mod profiles {
+    use super::{DiurnalShape, TrafficProfile, VolumeDist};
+
+    /// Native smartphone: chatty, data-heavy, evening-peaked.
+    pub const SMARTPHONE: TrafficProfile = TrafficProfile {
+        signaling_per_day: 40.0,
+        per_device_sigma: 0.7,
+        data_sessions_per_day: 30.0,
+        volume: VolumeDist {
+            median_bytes: 6_000_000.0,
+            sigma: 1.6,
+            uplink_ratio: 0.15,
+        },
+        voice_per_day: 3.0,
+        voice_is_call: true,
+        call_duration_mean_secs: 120.0,
+        diurnal: DiurnalShape::Human,
+        reauth_fraction: 0.1,
+    };
+
+    /// Feature phone: voice-first, a trickle of data.
+    pub const FEATURE_PHONE: TrafficProfile = TrafficProfile {
+        signaling_per_day: 3.5,
+        per_device_sigma: 0.6,
+        data_sessions_per_day: 0.4,
+        volume: VolumeDist {
+            median_bytes: 30_000.0,
+            sigma: 1.2,
+            uplink_ratio: 0.3,
+        },
+        voice_per_day: 4.0,
+        voice_is_call: true,
+        call_duration_mean_secs: 90.0,
+        diurnal: DiurnalShape::Human,
+        reauth_fraction: 0.1,
+    };
+
+    /// Smart meter: small periodic uplink reports, frequent re-attach.
+    pub const SMART_METER: TrafficProfile = TrafficProfile {
+        signaling_per_day: 5.0,
+        per_device_sigma: 0.5,
+        data_sessions_per_day: 1.5,
+        volume: VolumeDist {
+            median_bytes: 2_000.0,
+            sigma: 0.6,
+            uplink_ratio: 0.85,
+        },
+        voice_per_day: 0.5,
+        voice_is_call: false,
+        call_duration_mean_secs: 0.0,
+        diurnal: DiurnalShape::Periodic,
+        reauth_fraction: 0.5,
+    };
+
+    /// Connected car: behaves like a roaming smartphone (Fig. 12).
+    pub const CONNECTED_CAR: TrafficProfile = TrafficProfile {
+        signaling_per_day: 60.0,
+        per_device_sigma: 0.8,
+        data_sessions_per_day: 20.0,
+        volume: VolumeDist {
+            median_bytes: 2_000_000.0,
+            sigma: 1.4,
+            uplink_ratio: 0.4,
+        },
+        voice_per_day: 0.1,
+        voice_is_call: true,
+        call_duration_mean_secs: 60.0,
+        diurnal: DiurnalShape::Human,
+        reauth_fraction: 0.4,
+    };
+
+    /// Asset tracker: uplink-only pings around the clock.
+    pub const ASSET_TRACKER: TrafficProfile = TrafficProfile {
+        signaling_per_day: 12.0,
+        per_device_sigma: 0.9,
+        data_sessions_per_day: 6.0,
+        volume: VolumeDist {
+            median_bytes: 5_000.0,
+            sigma: 0.8,
+            uplink_ratio: 0.9,
+        },
+        voice_per_day: 0.4,
+        voice_is_call: false,
+        call_duration_mean_secs: 0.0,
+        diurnal: DiurnalShape::Flat,
+        reauth_fraction: 0.5,
+    };
+
+    /// Wearable: light smartphone-shaped traffic.
+    pub const WEARABLE: TrafficProfile = TrafficProfile {
+        signaling_per_day: 12.0,
+        per_device_sigma: 0.7,
+        data_sessions_per_day: 5.0,
+        volume: VolumeDist {
+            median_bytes: 200_000.0,
+            sigma: 1.2,
+            uplink_ratio: 0.3,
+        },
+        voice_per_day: 0.2,
+        voice_is_call: true,
+        call_duration_mean_secs: 45.0,
+        diurnal: DiurnalShape::Human,
+        reauth_fraction: 0.2,
+    };
+
+    /// Payment terminal: many tiny transactions during opening hours.
+    pub const PAYMENT_TERMINAL: TrafficProfile = TrafficProfile {
+        signaling_per_day: 10.0,
+        per_device_sigma: 0.6,
+        data_sessions_per_day: 25.0,
+        volume: VolumeDist {
+            median_bytes: 3_000.0,
+            sigma: 0.7,
+            uplink_ratio: 0.6,
+        },
+        voice_per_day: 0.4,
+        voice_is_call: false,
+        call_duration_mean_secs: 0.0,
+        diurnal: DiurnalShape::Human,
+        reauth_fraction: 0.3,
+    };
+
+    /// Security alarm — voice-reliant M2M: the paper finds 24.5% of M2M
+    /// devices use no data at all, relying on voice-like services.
+    pub const SECURITY_ALARM: TrafficProfile = TrafficProfile {
+        signaling_per_day: 5.0,
+        per_device_sigma: 0.5,
+        data_sessions_per_day: 0.0,
+        volume: VolumeDist {
+            median_bytes: 0.0,
+            sigma: 0.0,
+            uplink_ratio: 0.5,
+        },
+        voice_per_day: 1.0,
+        voice_is_call: false,
+        call_duration_mean_secs: 0.0,
+        diurnal: DiurnalShape::Flat,
+        reauth_fraction: 0.4,
+    };
+
+    /// Industrial sensor: periodic uplink telemetry.
+    pub const INDUSTRIAL_SENSOR: TrafficProfile = TrafficProfile {
+        signaling_per_day: 7.0,
+        per_device_sigma: 0.8,
+        data_sessions_per_day: 3.0,
+        volume: VolumeDist {
+            median_bytes: 8_000.0,
+            sigma: 0.9,
+            uplink_ratio: 0.9,
+        },
+        voice_per_day: 0.4,
+        voice_is_call: false,
+        call_duration_mean_secs: 0.0,
+        diurnal: DiurnalShape::Periodic,
+        reauth_fraction: 0.5,
+    };
+}
+
 impl TrafficProfile {
-    /// Default profile for a vertical, calibrated to §6/§7.
+    /// Default profile for a vertical, calibrated to §6/§7 — a lookup into
+    /// the [`profiles`] constant table.
     pub fn for_vertical(v: Vertical) -> TrafficProfile {
         match v {
-            Vertical::Smartphone => TrafficProfile {
-                signaling_per_day: 40.0,
-                per_device_sigma: 0.7,
-                data_sessions_per_day: 30.0,
-                volume: VolumeDist {
-                    median_bytes: 6_000_000.0,
-                    sigma: 1.6,
-                    uplink_ratio: 0.15,
-                },
-                voice_per_day: 3.0,
-                voice_is_call: true,
-                call_duration_mean_secs: 120.0,
-                diurnal: DiurnalShape::Human,
-                reauth_fraction: 0.1,
-            },
-            Vertical::FeaturePhone => TrafficProfile {
-                signaling_per_day: 3.5,
-                per_device_sigma: 0.6,
-                data_sessions_per_day: 0.4,
-                volume: VolumeDist {
-                    median_bytes: 30_000.0,
-                    sigma: 1.2,
-                    uplink_ratio: 0.3,
-                },
-                voice_per_day: 4.0,
-                voice_is_call: true,
-                call_duration_mean_secs: 90.0,
-                diurnal: DiurnalShape::Human,
-                reauth_fraction: 0.1,
-            },
-            Vertical::SmartMeter => TrafficProfile {
-                signaling_per_day: 5.0,
-                per_device_sigma: 0.5,
-                data_sessions_per_day: 1.5,
-                volume: VolumeDist {
-                    median_bytes: 2_000.0,
-                    sigma: 0.6,
-                    uplink_ratio: 0.85,
-                },
-                voice_per_day: 0.5,
-                voice_is_call: false,
-                call_duration_mean_secs: 0.0,
-                diurnal: DiurnalShape::Periodic,
-                reauth_fraction: 0.5,
-            },
-            Vertical::ConnectedCar => TrafficProfile {
-                signaling_per_day: 60.0,
-                per_device_sigma: 0.8,
-                data_sessions_per_day: 20.0,
-                volume: VolumeDist {
-                    median_bytes: 2_000_000.0,
-                    sigma: 1.4,
-                    uplink_ratio: 0.4,
-                },
-                voice_per_day: 0.1,
-                voice_is_call: true,
-                call_duration_mean_secs: 60.0,
-                diurnal: DiurnalShape::Human,
-                reauth_fraction: 0.4,
-            },
-            Vertical::AssetTracker => TrafficProfile {
-                signaling_per_day: 12.0,
-                per_device_sigma: 0.9,
-                data_sessions_per_day: 6.0,
-                volume: VolumeDist {
-                    median_bytes: 5_000.0,
-                    sigma: 0.8,
-                    uplink_ratio: 0.9,
-                },
-                voice_per_day: 0.4,
-                voice_is_call: false,
-                call_duration_mean_secs: 0.0,
-                diurnal: DiurnalShape::Flat,
-                reauth_fraction: 0.5,
-            },
-            Vertical::Wearable => TrafficProfile {
-                signaling_per_day: 12.0,
-                per_device_sigma: 0.7,
-                data_sessions_per_day: 5.0,
-                volume: VolumeDist {
-                    median_bytes: 200_000.0,
-                    sigma: 1.2,
-                    uplink_ratio: 0.3,
-                },
-                voice_per_day: 0.2,
-                voice_is_call: true,
-                call_duration_mean_secs: 45.0,
-                diurnal: DiurnalShape::Human,
-                reauth_fraction: 0.2,
-            },
-            Vertical::PaymentTerminal => TrafficProfile {
-                signaling_per_day: 10.0,
-                per_device_sigma: 0.6,
-                data_sessions_per_day: 25.0,
-                volume: VolumeDist {
-                    median_bytes: 3_000.0,
-                    sigma: 0.7,
-                    uplink_ratio: 0.6,
-                },
-                voice_per_day: 0.4,
-                voice_is_call: false,
-                call_duration_mean_secs: 0.0,
-                diurnal: DiurnalShape::Human,
-                reauth_fraction: 0.3,
-            },
-            Vertical::SecurityAlarm => TrafficProfile {
-                // Voice-reliant M2M: the paper finds 24.5% of M2M devices
-                // use no data at all, relying on voice-like services.
-                signaling_per_day: 5.0,
-                per_device_sigma: 0.5,
-                data_sessions_per_day: 0.0,
-                volume: VolumeDist {
-                    median_bytes: 0.0,
-                    sigma: 0.0,
-                    uplink_ratio: 0.5,
-                },
-                voice_per_day: 1.0,
-                voice_is_call: false,
-                call_duration_mean_secs: 0.0,
-                diurnal: DiurnalShape::Flat,
-                reauth_fraction: 0.4,
-            },
-            Vertical::IndustrialSensor => TrafficProfile {
-                signaling_per_day: 7.0,
-                per_device_sigma: 0.8,
-                data_sessions_per_day: 3.0,
-                volume: VolumeDist {
-                    median_bytes: 8_000.0,
-                    sigma: 0.9,
-                    uplink_ratio: 0.9,
-                },
-                voice_per_day: 0.4,
-                voice_is_call: false,
-                call_duration_mean_secs: 0.0,
-                diurnal: DiurnalShape::Periodic,
-                reauth_fraction: 0.5,
-            },
+            Vertical::Smartphone => profiles::SMARTPHONE,
+            Vertical::FeaturePhone => profiles::FEATURE_PHONE,
+            Vertical::SmartMeter => profiles::SMART_METER,
+            Vertical::ConnectedCar => profiles::CONNECTED_CAR,
+            Vertical::AssetTracker => profiles::ASSET_TRACKER,
+            Vertical::Wearable => profiles::WEARABLE,
+            Vertical::PaymentTerminal => profiles::PAYMENT_TERMINAL,
+            Vertical::SecurityAlarm => profiles::SECURITY_ALARM,
+            Vertical::IndustrialSensor => profiles::INDUSTRIAL_SENSOR,
         }
     }
 

@@ -1,0 +1,331 @@
+//! Matrix behavior == legacy behavior (the PR-8 contract).
+//!
+//! The `wtr_sim::behavior` interpreter replaces the hand-coded wake
+//! branches of `DeviceAgent`; `legacy_matrix` compiles each device spec
+//! into matrix form with a draw-order-preserving layout. This suite pins
+//! the equivalence at every level:
+//!
+//! 1. **Per vertical**: for every [`Vertical`], the explicit legacy agent
+//!    and the matrix agent built from `legacy_matrix` emit *identical*
+//!    event streams — including sticky-failure, switch-happy and
+//!    flaky-presence variants of each class.
+//! 2. **Scenario scale**: the full visited-MNO scenario produces
+//!    fingerprint-equal output (catalog JSONL + WTRCAT, ground truth,
+//!    record counts) on both paths across shards 1/2/8 × streaming
+//!    on/off × record loss 0/0.07.
+//! 3. **Validation** (proptest): `BehaviorMatrix::new`/`validate` rejects
+//!    every corruption of a well-formed matrix, and accepts + roundtrips
+//!    (serde, byte-stable) every well-formed parameterization.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use where_things_roam::model::country::Country;
+use where_things_roam::model::ids::{Imei, Imsi, Plmn, Tac};
+use where_things_roam::model::rat::RatSet;
+use where_things_roam::model::time::SimTime;
+use where_things_roam::model::vertical::Vertical;
+use where_things_roam::probes::io;
+use where_things_roam::radio::geo::CountryGeometry;
+use where_things_roam::radio::network::{CoverageFaults, RadioNetwork};
+use where_things_roam::radio::sector::GridSpacing;
+use where_things_roam::scenarios::{MnoScenario, MnoScenarioConfig, MnoScenarioOutput};
+use where_things_roam::sim::behavior::{
+    legacy_matrix, profile_matrix, states, BehaviorMatrix, BehaviorOptions, BehaviorRow,
+    EmissionSpec, PlanTarget, StateId, MAX_PLAN_TARGETS,
+};
+use where_things_roam::sim::device::{DeviceAgent, DeviceSpec, ItineraryLeg, PresenceModel};
+use where_things_roam::sim::engine::Engine;
+use where_things_roam::sim::events::ProcedureResult;
+use where_things_roam::sim::traffic::TrafficProfile;
+use where_things_roam::sim::world::{AllowAllPolicy, NetworkDirectory, RoamingWorld, VecSink};
+use where_things_roam::sim::MobilityModel;
+
+fn uk_geom() -> CountryGeometry {
+    CountryGeometry::of(Country::by_iso("GB").expect("GB exists"))
+}
+
+fn directory() -> NetworkDirectory {
+    let mut dir = NetworkDirectory::new();
+    for plmn in [Plmn::of(234, 10), Plmn::of(234, 15), Plmn::of(234, 20)] {
+        dir.add(
+            "GB",
+            RadioNetwork::new(
+                plmn,
+                RatSet::CONVENTIONAL,
+                uk_geom(),
+                GridSpacing::default(),
+                CoverageFaults::NONE,
+            ),
+        );
+    }
+    dir
+}
+
+fn vertical_spec(vertical: Vertical, index: u64, days: u32) -> DeviceSpec {
+    let traffic = TrafficProfile::for_vertical(vertical);
+    DeviceSpec {
+        index,
+        imsi: Imsi::new(Plmn::of(234, 10), index).unwrap(),
+        imei: Imei::new(Tac::new(35_000_000).unwrap(), index as u32 % 1_000_000).unwrap(),
+        vertical,
+        radio_caps: RatSet::CONVENTIONAL,
+        apns: vec!["internet.mnc010.mcc234.gprs".parse().unwrap()],
+        data_enabled: traffic.data_sessions_per_day > 0.0,
+        voice_enabled: traffic.voice_per_day > 0.0,
+        traffic,
+        presence: PresenceModel::always(days),
+        itinerary: vec![ItineraryLeg {
+            from_day: 0,
+            country_iso: "GB".into(),
+            mobility: MobilityModel::stationary_in(&uk_geom(), index),
+        }],
+        switch_propensity: 0.0,
+        event_failure_prob: 0.0,
+        sticky_failure: None,
+    }
+}
+
+/// Runs the same specs through the explicit legacy agent and the explicit
+/// matrix agent (both env-independent) and returns both event streams.
+fn run_both_paths(
+    specs: &[DeviceSpec],
+    days: u32,
+) -> (
+    Vec<where_things_roam::sim::events::SimEvent>,
+    Vec<where_things_roam::sim::events::SimEvent>,
+) {
+    let run_path = |legacy: bool| {
+        let world = RoamingWorld::new(directory(), Box::new(AllowAllPolicy), VecSink::default(), 7);
+        let mut engine = Engine::new(world, SimTime::from_secs(days as u64 * 86_400));
+        for spec in specs {
+            let agent = if legacy {
+                DeviceAgent::legacy(spec.clone(), 7).unwrap()
+            } else {
+                let matrix = Arc::new(legacy_matrix(spec));
+                DeviceAgent::with_behavior(spec.clone(), matrix, 7).unwrap()
+            };
+            engine.add_agent(agent);
+        }
+        engine.run().sink.events
+    };
+    (run_path(true), run_path(false))
+}
+
+#[test]
+fn every_vertical_matrix_equals_legacy() {
+    const DAYS: u32 = 6;
+    for (i, &vertical) in Vertical::ALL.iter().enumerate() {
+        let base = i as u64 * 10;
+        // Base class + the variants that exercise every wake branch:
+        // misprovisioned (sticky attach failure), switch-happy with
+        // transient failures, and a flaky presence window.
+        let mut sticky = vertical_spec(vertical, base + 1, DAYS);
+        sticky.sticky_failure = Some(ProcedureResult::UnknownSubscription);
+        let mut switcher = vertical_spec(vertical, base + 2, DAYS);
+        switcher.switch_propensity = 1.0;
+        switcher.event_failure_prob = 0.1;
+        let mut flaky = vertical_spec(vertical, base + 3, DAYS);
+        flaky.presence = PresenceModel {
+            first_day: 1,
+            last_day: DAYS - 1,
+            daily_active_prob: 0.5,
+        };
+        let specs = vec![vertical_spec(vertical, base, DAYS), sticky, switcher, flaky];
+        let (legacy, matrix) = run_both_paths(&specs, DAYS);
+        assert_eq!(legacy, matrix, "vertical {vertical:?} diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario scale.
+// ---------------------------------------------------------------------
+
+/// Everything the equivalence compares, flattened to bytes.
+fn fingerprint(out: &MnoScenarioOutput) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    io::write_catalog(&mut bytes, &out.catalog).unwrap();
+    io::write_catalog_bin(&mut bytes, &out.catalog).unwrap();
+    bytes.extend(
+        serde_json::to_string(&out.ground_truth)
+            .unwrap()
+            .into_bytes(),
+    );
+    bytes.extend(format!("{:?}", out.record_counts).into_bytes());
+    bytes
+}
+
+fn scenario_fingerprint(config: &MnoScenarioConfig, shards: usize, streaming: bool) -> Vec<u8> {
+    let scenario = MnoScenario::new(config.clone());
+    let out = if streaming {
+        scenario.run_streaming_sharded(shards)
+    } else {
+        scenario.run_sharded(shards)
+    };
+    fingerprint(&out)
+}
+
+/// The whole-scenario equivalence across the shard × streaming × loss
+/// matrix. The scenario population mixes every vertical, so a fingerprint
+/// match here is a per-vertical catalog match at scenario scale.
+///
+/// This is the only test in this binary that touches
+/// `WTR_LEGACY_BEHAVIOR` — the env var is process-global and tests run
+/// concurrently, so every other test uses the env-independent explicit
+/// constructors instead.
+#[test]
+fn scenario_matrix_path_reproduces_legacy_across_shard_matrix() {
+    for loss in [0.0, 0.07] {
+        let config = MnoScenarioConfig {
+            devices: 400,
+            days: 4,
+            seed: 11,
+            nbiot_meter_fraction: 0.05,
+            sunset_2g_uk: false,
+            gsma_transparency: false,
+            record_loss_fraction: loss,
+        };
+        // Agents read the env var at construction time, inside the run_*
+        // calls — so the flip brackets each legacy run exactly.
+        std::env::set_var("WTR_LEGACY_BEHAVIOR", "1");
+        let reference = scenario_fingerprint(&config, 1, false);
+        std::env::remove_var("WTR_LEGACY_BEHAVIOR");
+        for shards in [1usize, 2, 8] {
+            for streaming in [false, true] {
+                std::env::set_var("WTR_LEGACY_BEHAVIOR", "1");
+                let legacy = scenario_fingerprint(&config, shards, streaming);
+                std::env::remove_var("WTR_LEGACY_BEHAVIOR");
+                let matrix = scenario_fingerprint(&config, shards, streaming);
+                assert_eq!(
+                    legacy, reference,
+                    "legacy path not shard-invariant (loss {loss}, {shards} shards, streaming {streaming})"
+                );
+                assert_eq!(
+                    matrix, reference,
+                    "matrix path diverged (loss {loss}, {shards} shards, streaming {streaming})"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation + serde (proptest).
+// ---------------------------------------------------------------------
+
+fn base_matrix(vertical_idx: usize) -> BehaviorMatrix {
+    let vertical = Vertical::ALL[vertical_idx % Vertical::ALL.len()];
+    profile_matrix(
+        &TrafficProfile::for_vertical(vertical),
+        &BehaviorOptions::default(),
+    )
+}
+
+/// One deliberate corruption of a valid matrix. Each arm breaks exactly
+/// one invariant `validate` checks.
+fn corrupt(m: &mut BehaviorMatrix, kind: usize, row: usize, bad: f64) {
+    let row = row % m.rows.len();
+    match kind {
+        0 => m.rows.clear(),
+        1 => m.entry = StateId(m.rows.len() as u32),
+        2 => m.rows[row].event_rate = bad,
+        3 => m.rows[row].transitions.clear(),
+        4 => m.rows[row].transitions = vec![(StateId(m.rows.len() as u32), 1.0)],
+        5 => {
+            m.rows[row].transitions = vec![(StateId(0), 0.0), (StateId(1), 0.0)];
+        }
+        6 => {
+            m.rows[row].transitions = vec![(StateId(0), 1.0), (StateId(1), -1.0)];
+        }
+        7 => {
+            if let EmissionSpec::Plan(plan) = &mut m.rows[0].emission {
+                plan.daily_active_prob = 1.0 + bad.abs().max(0.001);
+            } else {
+                unreachable!("row 0 of a compiled matrix is the plan row");
+            }
+        }
+        8 => {
+            if let EmissionSpec::Plan(plan) = &mut m.rows[0].emission {
+                plan.targets = vec![
+                    PlanTarget {
+                        state: states::SIGNALING,
+                        scheduled: true,
+                    };
+                    MAX_PLAN_TARGETS + 1
+                ];
+            }
+        }
+        9 => m.params.per_device_sigma = -bad.abs() - 0.001,
+        10 => m.params.sticky_breadth_weights = vec![-1.0, 2.0],
+        _ => m.params.reselect_rotate_prob = 1.0 + bad.abs().max(0.001),
+    }
+}
+
+proptest! {
+    /// Every corruption of a valid matrix is rejected by `validate`, and
+    /// `BehaviorMatrix::new` refuses to construct it.
+    #[test]
+    fn malformed_matrices_are_rejected(
+        vertical_idx in 0usize..Vertical::ALL.len(),
+        kind in 0usize..12,
+        row in 0usize..4,
+        bad in prop_oneof![Just(-1.0f64), Just(f64::NAN), Just(f64::INFINITY), -1e6f64..-0.001],
+    ) {
+        let mut m = base_matrix(vertical_idx);
+        prop_assert!(m.validate().is_ok());
+        corrupt(&mut m, kind, row, bad);
+        prop_assert!(m.validate().is_err(), "corruption {kind} accepted");
+        prop_assert!(
+            BehaviorMatrix::new(m.params.clone(), m.rows.clone(), m.entry).is_err(),
+            "constructor accepted corruption {kind}"
+        );
+    }
+
+    /// Well-formed parameterizations are accepted and serde-roundtrip to
+    /// the identical matrix *and* identical bytes (canonical form).
+    #[test]
+    fn valid_matrices_roundtrip_byte_stable(
+        vertical_idx in 0usize..Vertical::ALL.len(),
+        daily_active_prob in 0.0f64..1.0,
+        switch_propensity in 0.0f64..1.0,
+        event_failure_prob in 0.0f64..1.0,
+        data_enabled in any::<bool>(),
+        voice_enabled in any::<bool>(),
+        apn_count in 1u32..4,
+        sticky in any::<bool>(),
+    ) {
+        let vertical = Vertical::ALL[vertical_idx];
+        let opts = BehaviorOptions {
+            daily_active_prob,
+            switch_propensity,
+            event_failure_prob,
+            sticky_failure: sticky.then_some(ProcedureResult::UnknownSubscription),
+            data_enabled,
+            voice_enabled,
+            apn_count,
+        };
+        let m = profile_matrix(&TrafficProfile::for_vertical(vertical), &opts);
+        prop_assert!(m.validate().is_ok());
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BehaviorMatrix = serde_json::from_str(&json).unwrap();
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}
+
+/// A silent row that branches is accepted — the interpreter supports
+/// richer shapes than the compiler emits today.
+#[test]
+fn branching_silent_rows_validate() {
+    let mut m = base_matrix(0);
+    m.rows.push(BehaviorRow {
+        transitions: vec![
+            (states::SIGNALING, 0.7),
+            (states::DATA, 0.2),
+            (states::VOICE, 0.1),
+        ],
+        event_rate: 0.5,
+        emission: EmissionSpec::Silent,
+    });
+    assert!(m.validate().is_ok());
+}
