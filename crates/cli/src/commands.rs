@@ -7,7 +7,7 @@ use wtr_core::analysis::platform;
 use wtr_core::baseline;
 use wtr_core::classify::{Classification, Classifier, DeviceClass};
 use wtr_core::report;
-use wtr_core::stream::{materialize_catalog, stream_catalog, StreamedCatalog, METRICS, PLANES};
+use wtr_core::stream::{materialize_catalog, stream_catalog, StreamedCatalog};
 use wtr_core::summary::DeviceSummary;
 use wtr_model::intern::ApnTable;
 use wtr_model::tacdb::TacDatabase;
@@ -344,19 +344,11 @@ pub fn classify(argv: &[String]) -> Result<(), String> {
     let tacdb = TacDatabase::standard();
     let pipeline = args.get("pipeline").unwrap_or("full");
     let classification = classify_with(pipeline, &tacdb, &data.summaries, &data.apns)?;
-    println!("pipeline: {pipeline}");
-    println!("devices: {}", data.summaries.len());
-    for (class, share) in classification.shares() {
-        println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
-    }
-    println!(
-        "APNs: {} distinct, {} validated M2M; {} devices without APN; \
-         {} NB-IoT-detected; {} range-detected",
-        classification.total_apns,
-        classification.validated_apns.len(),
-        classification.devices_without_apn,
-        classification.nbiot_detected,
-        classification.range_detected
+    // Shared renderer: `wtr_serve`'s `/report/{tenant}/classify` serves
+    // the same bytes.
+    print!(
+        "{}",
+        report::render_classify(pipeline, data.summaries.len(), &classification)
     );
     Ok(())
 }
@@ -380,154 +372,13 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
     let suite = wtr_core::stream::analyze(&data.summaries, &data.apns, data.window_days, &tacdb);
     let mut wanted: Vec<&str> = args.positionals().iter().map(String::as_str).collect();
     if wanted.is_empty() {
-        wanted = vec![
-            "labels",
-            "classes",
-            "home",
-            "active",
-            "elements",
-            "rat",
-            "traffic",
-            "smip",
-            "verticals",
-            "diurnal",
-            "revenue",
-        ];
+        wanted = report::ANALYSES.to_vec();
     }
     for analysis in wanted {
-        match analysis {
-            "labels" => {
-                let ls = &data.label_shares;
-                println!("roaming-label shares (overall):");
-                for (label, share) in &ls.overall {
-                    println!(
-                        "  {label}  {:>5.1}%  {}",
-                        share * 100.0,
-                        report::bar(*share, 30)
-                    );
-                }
-            }
-            "classes" => {
-                println!("device classes:");
-                for (class, share) in suite.classification.shares() {
-                    println!("  {:<10} {:>6.1}%", class.label(), share * 100.0);
-                }
-            }
-            "home" => {
-                let hc = &suite.home;
-                print!(
-                    "{}",
-                    report::shares_table(
-                        "inbound roamers by home country (top 10)",
-                        &hc.overall,
-                        10
-                    )
-                );
-            }
-            "rat" => {
-                for (plane, usage) in PLANES.iter().zip(&suite.rat) {
-                    println!("RAT usage ({}):", plane.label());
-                    for u in usage {
-                        let mut cats: Vec<(&String, &f64)> = u.shares.iter().collect();
-                        cats.sort_by(|a, b| b.1.total_cmp(a.1));
-                        let top: Vec<String> = cats
-                            .iter()
-                            .take(3)
-                            .map(|(k, v)| format!("{k} {:.0}%", **v * 100.0))
-                            .collect();
-                        println!("  {:<6} {}", u.class.label(), top.join(", "));
-                    }
-                }
-            }
-            "traffic" => {
-                for (metric, dists) in METRICS.iter().zip(&suite.traffic) {
-                    println!("{} (medians):", metric.label());
-                    for d in dists {
-                        println!(
-                            "  {:<6} {:<16} {:>14.1}",
-                            d.class.label(),
-                            d.status.label(),
-                            d.dist.median().unwrap_or(0.0)
-                        );
-                    }
-                }
-            }
-            "smip" => {
-                let native = &suite.smip_native;
-                let roaming = &suite.smip_roaming;
-                println!(
-                    "SMIP: {} native, {} roaming meters; signaling/day {:.1} vs {:.1}; failed {:.0}% vs {:.0}%",
-                    native.devices,
-                    roaming.devices,
-                    native.signaling_per_day.mean().unwrap_or(0.0),
-                    roaming.signaling_per_day.mean().unwrap_or(0.0),
-                    native.failed_device_fraction * 100.0,
-                    roaming.failed_device_fraction * 100.0
-                );
-            }
-            "verticals" => {
-                let (cars, meters) = &suite.verticals;
-                println!(
-                    "verticals: {} cars (gyration {:.1} km) vs {} meters (gyration {:.3} km)",
-                    cars.devices,
-                    cars.gyration_km.median().unwrap_or(0.0),
-                    meters.devices,
-                    meters.gyration_km.median().unwrap_or(0.0)
-                );
-            }
-            "diurnal" => {
-                println!("diurnal shapes:");
-                for p in &suite.diurnal {
-                    println!(
-                        "  {:<6} night {:>5.1}%  peak/trough {:>5.1}x",
-                        p.class.label(),
-                        p.night_share * 100.0,
-                        p.peak_to_trough
-                    );
-                }
-            }
-            "revenue" => {
-                println!("inbound economics:");
-                for e in &suite.revenue {
-                    println!(
-                        "  {:<10} load {:>5.1}%  revenue {:>5.1}%  median €{:.4}/device",
-                        e.class.label(),
-                        e.load_share * 100.0,
-                        e.revenue_share * 100.0,
-                        e.revenue_median_per_device
-                    );
-                }
-            }
-            "active" => {
-                let res = &suite.active;
-                println!(
-                    "active days (inbound medians): m2m {:.0}, smart {:.0}",
-                    res[0].days.median().unwrap_or(0.0),
-                    res[1].days.median().unwrap_or(0.0)
-                );
-            }
-            "elements" => {
-                // Element load needs the raw probe, which a catalog file
-                // does not carry; approximate from radio-flags instead:
-                // LTE-family active devices load the MME, 2G/3G the SGSN.
-                let mut mme = 0u64;
-                let mut sgsn = 0u64;
-                for s in &data.summaries {
-                    let set = s.radio_flags.any;
-                    if set.contains(wtr_model::rat::Rat::G4)
-                        || set.contains(wtr_model::rat::Rat::NbIot)
-                    {
-                        mme += s.events;
-                    } else {
-                        sgsn += s.events;
-                    }
-                }
-                println!(
-                    "element attribution (approx. from radio-flags): MME-side {mme} events, SGSN-side {sgsn} events"
-                );
-            }
-            other => return Err(format!("unknown analysis {other:?}")),
-        }
+        // One shared renderer per table (`wtr_core::report`): the server's
+        // `/report/{tenant}/{table}` endpoint serves the same bytes, which
+        // is what lets CI diff HTTP reports against this command.
+        print!("{}", report::render_analysis(analysis, &data, &suite)?);
         println!();
     }
     Ok(())
@@ -562,5 +413,89 @@ pub fn platform_stats(argv: &[String]) -> Result<(), String> {
         dyn_all.only_failed_fraction * 100.0,
         dyn_all.max_vmnos_failed_device
     );
+    Ok(())
+}
+
+/// `wtr serve`: run the resident catalog/analysis server (`wtr_serve`).
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &["addr", "workers", "watermark-secs", "max-body-bytes"],
+        &[],
+    )?;
+    if args.flag("help") {
+        println!(
+            "wtr serve [--addr 127.0.0.1:8080] [--workers 4] [--watermark-secs 86400] \
+             [--max-body-bytes 67108864]\n\n\
+             POST /ingest/{{tenant}} catalog bodies in; GET /report/{{tenant}}/{{table}} \
+             reports out; POST /shutdown seals open days and stops cleanly."
+        );
+        return Ok(());
+    }
+    let defaults = wtr_serve::ServerConfig::default();
+    let config = wtr_serve::ServerConfig {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_owned(),
+        workers: args.get_parsed("workers", defaults.workers)?,
+        watermark_secs: args.get_parsed("watermark-secs", defaults.watermark_secs)?,
+        max_body_bytes: args.get_parsed("max-body-bytes", defaults.max_body_bytes)?,
+    };
+    let server = wtr_serve::Server::bind(config)?;
+    // Stderr, so stdout stays clean for scripting; CI polls /healthz.
+    eprintln!("wtr-serve listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("server: {e}"))
+}
+
+/// Tiny deterministic PRNG for `catalog-split`'s shuffle (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `wtr catalog-split`: deterministically shuffle a catalog's rows and
+/// partition them into N valid catalog files — the tap-upload fixtures
+/// for `wtr serve` (each (user, day) row lands in exactly one part, the
+/// row-partitioned contract the server's determinism guarantee assumes).
+pub fn catalog_split(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["catalog", "parts", "seed", "out-prefix"], &[])?;
+    if args.flag("help") {
+        println!(
+            "wtr catalog-split --catalog catalog.jsonl --out-prefix part- [--parts 3] [--seed 1]"
+        );
+        return Ok(());
+    }
+    let catalog = load_catalog(&args)?;
+    let prefix = args.require("out-prefix")?;
+    let parts: usize = args.get_parsed("parts", 3)?;
+    if parts == 0 {
+        return Err("--parts must be at least 1".into());
+    }
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let rows: Vec<&wtr_probes::catalog::CatalogEntry> = catalog.iter().collect();
+    // Keyed Fisher–Yates: the same (catalog, seed) always yields the
+    // same parts, so test fixtures and CI chunks are reproducible.
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    let mut state = seed ^ 0x57_54_52_43; // "WTRC"
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut out_paths = Vec::new();
+    for part in 0..parts {
+        let mut part_catalog = DevicesCatalog::new(catalog.window_days());
+        for &idx in order.iter().skip(part).step_by(parts) {
+            part_catalog.adopt_entry(rows[idx].clone(), catalog.apn_table());
+        }
+        let path = format!("{prefix}{part}.jsonl");
+        let mut out = open_out(&path)?;
+        probe_io::write_catalog(&mut out, &part_catalog).map_err(|e| format!("{path}: {e}"))?;
+        out.flush().map_err(|e| format!("{path}: {e}"))?;
+        out_paths.push((path, part_catalog.len()));
+    }
+    for (path, len) in out_paths {
+        eprintln!("wrote {len} rows to {path}");
+    }
     Ok(())
 }

@@ -35,6 +35,8 @@ COMMANDS:
     analyze             print analyses over a catalog (labels, home, rat, …)
     platform-stats      print §3 statistics over a transaction log
     behavior-template   dump the standard per-vertical behavior matrices as JSON
+    serve               run the resident ingest/report server (wtr_serve)
+    catalog-split       shuffle + partition a catalog into per-tap upload parts
     help                show this message
 
 Run `wtr <COMMAND> --help` for per-command options.";
@@ -53,6 +55,8 @@ fn main() -> ExitCode {
         "analyze" => commands::analyze(rest),
         "platform-stats" => commands::platform_stats(rest),
         "behavior-template" => commands::behavior_template(rest),
+        "serve" => commands::serve(rest),
+        "catalog-split" => commands::catalog_split(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -80,7 +80,10 @@ pub const METRICS: [TrafficMetric; 3] = [
 
 /// Everything the analysis pipeline needs from a catalog, produced
 /// without ever materializing the catalog itself.
-#[derive(Debug, Clone)]
+///
+/// `Clone` + serde so a sealed snapshot can be cached (or shipped)
+/// without re-folding the catalog — the `wtr_serve` snapshot surface.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StreamedCatalog {
     /// Per-device summaries (canonical user order).
     pub summaries: Vec<DeviceSummary>,
@@ -133,7 +136,13 @@ pub fn materialize_catalog(catalog: &DevicesCatalog) -> StreamedCatalog {
 
 /// Every per-summary analysis table of the reporting pipeline, computed
 /// by [`analyze`] in one broadcast pass.
-#[derive(Debug, Clone)]
+///
+/// `Clone` + canonical serde across the whole suite (every member table
+/// already serializes canonically — `BTreeMap` keys, stable vector
+/// orders), so one computed suite can be cached per absorb generation
+/// and served repeatedly without re-folding: the `wtr_serve` response
+/// cache stores exactly this.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AnalysisSuite {
     /// The §4.3 classification.
     pub classification: Classification,

@@ -232,7 +232,10 @@ fn merge_partials(left: &mut Partial, right: Partial) {
 /// choices except the f64 mobility accumulator, whose bit-exactness
 /// across paths is guaranteed by pinning chunk boundaries
 /// (`wtr_sim::par::chunk_size`) rather than by associativity.
-#[derive(Debug, Default)]
+/// `Clone` (like every other analysis fold) so an open accumulation —
+/// e.g. a `wtr_serve` day that has not sealed yet — can be snapshotted
+/// and finished without disturbing the live fold.
+#[derive(Debug, Default, Clone)]
 pub struct SummaryFold {
     partial: Partial,
 }

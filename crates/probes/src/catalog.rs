@@ -315,6 +315,23 @@ impl DevicesCatalog {
         }
     }
 
+    /// Inserts a row whose APN symbols were issued by a *different*
+    /// table: each symbol is resolved through `table` and re-interned
+    /// here before the row lands via [`DevicesCatalog::insert_entry`].
+    /// This is the cross-catalog routing step of incremental ingest
+    /// (`wtr_serve` taps, `wtr catalog-split`): entries decoded from a
+    /// stream carry that stream's symbols, not the destination's.
+    pub fn adopt_entry(&mut self, mut entry: CatalogEntry, table: &ApnTable) {
+        if !entry.apns.is_empty() {
+            entry.apns = entry
+                .apns
+                .iter()
+                .map(|&sym| self.apns.intern(table.resolve(sym)))
+                .collect();
+        }
+        self.insert_entry(entry);
+    }
+
     /// Row lookup.
     pub fn get(&self, user: u64, day: Day) -> Option<&CatalogEntry> {
         self.rows.get(&(user, day.0))

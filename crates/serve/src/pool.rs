@@ -1,0 +1,97 @@
+//! Bounded worker pool: a fixed set of threads draining one shared job
+//! queue. The accept loop hands each connection to the pool and goes
+//! straight back to `accept()`, so slow clients occupy a worker, never
+//! the listener.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool over one mpsc queue.
+pub struct Pool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `size` workers. `size` must be at least 1 (the server
+    /// config validates this before construction).
+    pub fn new(size: usize) -> Pool {
+        assert!(size >= 1, "pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("wtr-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the recv: jobs
+                        // run unlocked, so workers drain concurrently.
+                        let job = {
+                            let guard = receiver.lock().expect("pool receiver poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // sender dropped: drain done
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Enqueues one job. Returns `false` if the pool is already shut
+    /// down (the job is dropped).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue and joins every worker, letting in-flight jobs
+    /// finish. Called by `Drop`, or explicitly for a deterministic
+    /// drain point during shutdown.
+    pub fn join(&mut self) {
+        self.sender.take(); // closing the channel stops the workers
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_jobs_before_join() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = Pool::new(4);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        // After join the pool refuses new work instead of hanging.
+        assert!(!pool.execute(|| ()));
+    }
+}

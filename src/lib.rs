@@ -8,4 +8,5 @@ pub use wtr_platform as platform;
 pub use wtr_probes as probes;
 pub use wtr_radio as radio;
 pub use wtr_scenarios as scenarios;
+pub use wtr_serve as serve;
 pub use wtr_sim as sim;
